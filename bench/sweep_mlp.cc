@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment E12 -- memory-level parallelism: how many outstanding
+ * accesses does weak ordering actually need?
+ *
+ * The paper's opening motivation is that sequential consistency forbids
+ * "write buffers, instruction execution overlap, out-of-order memory
+ * accesses and lockup-free caches [Kro81]".  This sweep bounds the number
+ * of simultaneously outstanding accesses per processor (the lockup-free
+ * cache's MSHR count) and shows: SC is insensitive (it never overlaps
+ * anyway -- max_outstanding = 1 IS sequential consistency's issue rule),
+ * while the weak policies' gains saturate after a few entries.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "program/workload.hh"
+#include "sys/system.hh"
+
+namespace wo {
+namespace {
+
+Tick
+run(const Program &p, OrderingPolicy pol, int mlp)
+{
+    SystemCfg cfg;
+    cfg.policy = pol;
+    cfg.net.hop_latency = 15;
+    cfg.cpu.max_outstanding = mlp;
+    System sys(p, cfg);
+    auto r = sys.run();
+    return r.completed ? r.finish_tick : 0;
+}
+
+void
+sweep()
+{
+    // Write-heavy, lock-light workload: lots of overlap opportunity.
+    Program p = syntheticMix(4, 12, 2, 30, 8, 1, 99);
+    std::printf("== E12: execution time vs outstanding-access limit "
+                "(4 procs, 30 accesses each, 8%% sync) ==\n");
+    Table t({"MSHRs", "SC", "WO-Def1", "WO-DRF0", "DRF0 gain vs 1"});
+    Tick base_drf0 = 0;
+    for (int mlp : {1, 2, 4, 8, 16, 0}) {
+        Tick sc = run(p, OrderingPolicy::sc, mlp);
+        Tick d1 = run(p, OrderingPolicy::wo_def1, mlp);
+        Tick dn = run(p, OrderingPolicy::wo_drf0, mlp);
+        if (mlp == 1)
+            base_drf0 = dn;
+        t.addRow({mlp ? strprintf("%d", mlp) : "unlimited",
+                  strprintf("%llu", (unsigned long long)sc),
+                  strprintf("%llu", (unsigned long long)d1),
+                  strprintf("%llu", (unsigned long long)dn),
+                  (base_drf0 && dn)
+                      ? strprintf("%.2fx",
+                                  (double)base_drf0 / (double)dn)
+                      : "-"});
+    }
+    t.print();
+    std::printf("Read: with one MSHR all policies serialize misses "
+                "identically; the weak policies convert extra MSHRs into "
+                "overlap, SC cannot.\n");
+}
+
+} // namespace
+} // namespace wo
+
+int
+main()
+{
+    wo::sweep();
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Experiment E13 -- scalability with processor count.  Figure 1's framing
+ * is that "as potential for parallelism is increased, sequential
+ * consistency imposes greater constraints on hardware, thereby limiting
+ * performance": with more processors contending, the cost of SC's
+ * serialization compounds, while the weak designs keep only the
+ * synchronization-point costs.  Sweeps both a contended (one lock) and a
+ * partitioned (one lock per region) workload.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "program/litmus.hh"
+#include "program/workload.hh"
+#include "sys/system.hh"
+
+namespace wo {
+namespace {
+
+Tick
+run(const Program &p, OrderingPolicy pol)
+{
+    SystemCfg cfg;
+    cfg.policy = pol;
+    cfg.net.hop_latency = 10;
+    System sys(p, cfg);
+    auto r = sys.run();
+    return r.completed ? r.finish_tick : 0;
+}
+
+void
+contended()
+{
+    std::printf("== E13a: one contended lock, 2 increments per processor "
+                "==\n");
+    Table t({"procs", "SC", "WO-Def1", "WO-DRF0", "WO-DRF0+RO",
+             "DRF0+RO vs SC"});
+    for (ProcId procs : {2, 4, 8, 12, 16}) {
+        Program p = litmus::lockedCounter(procs, 2);
+        Tick sc = run(p, OrderingPolicy::sc);
+        Tick d1 = run(p, OrderingPolicy::wo_def1);
+        Tick dn = run(p, OrderingPolicy::wo_drf0);
+        Tick ro = run(p, OrderingPolicy::wo_drf0_ro);
+        t.addRow({strprintf("%u", procs),
+                  strprintf("%llu", (unsigned long long)sc),
+                  strprintf("%llu", (unsigned long long)d1),
+                  strprintf("%llu", (unsigned long long)dn),
+                  strprintf("%llu", (unsigned long long)ro),
+                  ro ? strprintf("%.2fx", (double)sc / (double)ro) : "-"});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+void
+partitioned()
+{
+    std::printf("== E13b: partitioned workload (one lock per region, one "
+                "region per processor) ==\n");
+    Table t({"procs", "SC", "WO-Def1", "WO-DRF0", "DRF0 vs SC"});
+    for (ProcId procs : {2, 4, 8, 12}) {
+        Drf0WorkloadCfg wl;
+        wl.procs = procs;
+        wl.regions = procs;
+        wl.locs_per_region = 2;
+        wl.private_locs = 2;
+        wl.sections = 3;
+        wl.ops_per_section = 4;
+        wl.private_ops = 2;
+        wl.seed = 7;
+        Program p = randomDrf0Program(wl);
+        Tick sc = run(p, OrderingPolicy::sc);
+        Tick d1 = run(p, OrderingPolicy::wo_def1);
+        Tick dn = run(p, OrderingPolicy::wo_drf0);
+        t.addRow({strprintf("%u", procs),
+                  strprintf("%llu", (unsigned long long)sc),
+                  strprintf("%llu", (unsigned long long)d1),
+                  strprintf("%llu", (unsigned long long)dn),
+                  dn ? strprintf("%.2fx", (double)sc / (double)dn) : "-"});
+    }
+    t.print();
+    std::printf("Read: with little lock contention the weak designs' "
+                "advantage persists as processors scale; under heavy "
+                "contention the lock itself dominates every design.\n");
+}
+
+} // namespace
+} // namespace wo
+
+int
+main()
+{
+    wo::contended();
+    wo::partitioned();
+    return 0;
+}

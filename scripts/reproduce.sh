@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the test suite, regenerate every
+# experiment (bench/), and run the examples.  Outputs land in
+# test_output.txt and bench_output.txt at the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+    for b in build/bench/*; do
+        [ -x "$b" ] || continue
+        echo "===== $b ====="
+        "$b"
+        echo
+    done
+} 2>&1 | tee bench_output.txt
+
+for e in build/examples/*; do
+    [ -x "$e" ] || continue
+    echo "===== $e ====="
+    "$e"
+    echo
+done

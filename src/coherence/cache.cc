@@ -1,0 +1,418 @@
+#include "cache.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+Cache::Cache(NodeId id, NodeId dir, ProcId procs, EventQueue &eq,
+             Network &net, CacheClient *client, Addr n_locs,
+             const CacheCfg &cfg)
+    : id_(id), dir_(dir), eq_(eq), net_(net), client_(client), cfg_(cfg),
+      lines_(n_locs), stats_(strprintf("cache%u", id))
+{
+    (void)procs;
+}
+
+Value
+Cache::lineValue(Addr addr) const
+{
+    wo_assert(addr < lines_.size(), "addr %u out of range", addr);
+    wo_assert(lines_[addr].st != LineState::invalid,
+              "reading invalid line %u", addr);
+    return lines_[addr].value;
+}
+
+bool
+Cache::holdsModified(Addr addr) const
+{
+    wo_assert(addr < lines_.size(), "addr %u out of range", addr);
+    return lines_[addr].st == LineState::modified;
+}
+
+void
+Cache::warmShared(Addr addr, Value v)
+{
+    wo_assert(addr < lines_.size(), "addr %u out of range", addr);
+    wo_assert(lines_[addr].st == LineState::invalid && mshrs_.empty(),
+              "warming a live cache");
+    lines_[addr] = Line{LineState::shared, v};
+}
+
+void
+Cache::access(const CacheReq &req)
+{
+    auto it = mshrs_.find(req.addr);
+    if (it != mshrs_.end()) {
+        // A transaction for this address is in flight: keep same-address
+        // program order by queueing behind it.
+        it->second.queued_reqs.push_back(req);
+        return;
+    }
+    // Once the bounded-miss throttle has deferred anything, every later
+    // request defers behind it -- including hits and synchronization
+    // operations.  Otherwise a synchronization HIT could commit while
+    // po-earlier writes sit invisible in the deferral queue (counter
+    // zero, no reserve bit), breaking condition 5.  Found by the
+    // randomized soak; see tests/soak_test.cc.
+    if (!deferred_.empty()) {
+        deferred_.push_back(req);
+        return;
+    }
+    start(req);
+}
+
+void
+Cache::start(const CacheReq &req)
+{
+    Line &line = lines_[req.addr];
+    const bool as_write =
+        req.write || (req.is_sync && !cfg_.sync_reads_as_reads);
+
+    if (!as_write) {
+        if (line.st != LineState::invalid) {
+            stats_.counter("read_hits").inc();
+            commit(req, cfg_.hit_latency, /*performed_now=*/true);
+        } else {
+            sendMiss(req, /*exclusive=*/false);
+        }
+        return;
+    }
+    if (line.st == LineState::modified ||
+        line.st == LineState::exclusive_clean) {
+        // MESI silent upgrade: an exclusive-clean line becomes modified
+        // with no protocol traffic.
+        if (line.st == LineState::exclusive_clean)
+            stats_.counter("silent_upgrades").inc();
+        line.st = LineState::modified;
+        stats_.counter("write_hits").inc();
+        commit(req, cfg_.hit_latency, /*performed_now=*/true);
+        return;
+    }
+    sendMiss(req, /*exclusive=*/true);
+}
+
+void
+Cache::commit(const CacheReq &req, Tick delay, bool performed_now)
+{
+    Line &line = lines_[req.addr];
+    const Value read_value = line.value;
+    if (req.write) {
+        wo_assert(line.st == LineState::modified,
+                  "write commit on non-modified line %u", req.addr);
+        line.value = req.wvalue;
+    }
+    // Section 5.3: at a synchronization commit with outstanding accesses,
+    // reserve the line.  (Sync reads on the read path -- the Section-6
+    // refinement -- never reserve.)
+    const bool write_path =
+        req.write || (req.is_sync && !cfg_.sync_reads_as_reads);
+    if (req.is_sync && write_path && counter_ > 0) {
+        reserved_.insert(req.addr);
+        stats_.counter("reservations").inc();
+    }
+    CacheClient *client = client_;
+    const std::uint64_t rid = req.id;
+    eq_.schedule(delay, strprintf("c%u.commit#%llu", id_,
+                                  static_cast<unsigned long long>(rid)),
+                 [client, rid, read_value] {
+                     client->onCommit(rid, read_value);
+                 });
+    if (performed_now) {
+        eq_.schedule(delay,
+                     strprintf("c%u.perf#%llu", id_,
+                               static_cast<unsigned long long>(rid)),
+                     [client, rid] { client->onGloballyPerformed(rid); });
+    }
+}
+
+void
+Cache::sendMiss(const CacheReq &req, bool exclusive)
+{
+    // Bounded-miss throttle while reserved (the paper's refinement).
+    if (cfg_.reserved_miss_limit >= 0 && !reserved_.empty() &&
+        reserved_window_misses_ >= cfg_.reserved_miss_limit) {
+        deferred_.push_back(req);
+        stats_.counter("throttled_misses").inc();
+        return;
+    }
+    if (!reserved_.empty())
+        ++reserved_window_misses_;
+    Mshr m;
+    m.req = req;
+    m.want_exclusive = exclusive;
+    m.issued = eq_.now();
+    mshrs_.emplace(req.addr, std::move(m));
+    ++counter_;
+    ++misses_in_flight_;
+    stats_.counter(exclusive ? "write_misses" : "read_misses").inc();
+
+    Message msg;
+    msg.type = exclusive ? MsgType::get_x : MsgType::get_s;
+    msg.src = id_;
+    msg.dst = dir_;
+    msg.addr = req.addr;
+    msg.requester = id_;
+    msg.is_sync = req.is_sync;
+    net_.send(msg);
+}
+
+void
+Cache::decrementCounter()
+{
+    wo_assert(counter_ > 0, "counter underflow at cache %u", id_);
+    if (--counter_ == 0) {
+        // "All reserve bits are reset when the counter reads zero."
+        if (!reserved_.empty()) {
+            reserved_.clear();
+            stats_.counter("reserve_clears").inc();
+        }
+        reserved_window_misses_ = 0;
+        // Queue-mode stalled requests are serviced now.
+        std::deque<Message> stalled;
+        stalled.swap(stalled_);
+        for (const Message &m : stalled)
+            serveForward(m);
+    }
+    drainDeferred();
+}
+
+void
+Cache::drainDeferred()
+{
+    while (!deferred_.empty()) {
+        const bool throttled =
+            cfg_.reserved_miss_limit >= 0 && !reserved_.empty() &&
+            reserved_window_misses_ >= cfg_.reserved_miss_limit;
+        if (throttled)
+            return;
+        CacheReq req = deferred_.front();
+        deferred_.pop_front();
+        // Re-enter through access() so MSHR queueing stays correct.
+        auto it = mshrs_.find(req.addr);
+        if (it != mshrs_.end())
+            it->second.queued_reqs.push_back(req);
+        else
+            start(req);
+    }
+}
+
+bool
+Cache::mustStall(const Message &msg) const
+{
+    // A reserved line is never given away; see the file comment.  Only
+    // synchronization requests are expected here in DRF0 programs, but the
+    // conservative rule also protects against racy data traffic.
+    (void)msg;
+    return reserved_.count(msg.addr) > 0;
+}
+
+void
+Cache::serveForward(const Message &msg)
+{
+    auto it = mshrs_.find(msg.addr);
+    if (it != mshrs_.end()) {
+        // Our own data has not arrived yet (cross-channel race); serve the
+        // forward once it does.
+        it->second.queued_fwds.push_back(msg);
+        return;
+    }
+    if (mustStall(msg)) {
+        stats_.counter("reserve_stalls").inc();
+        if (cfg_.stall_mode == ReserveStallMode::queue) {
+            stalled_.push_back(msg);
+        } else {
+            Message n;
+            n.type = MsgType::nack;
+            n.src = id_;
+            n.dst = dir_;
+            n.addr = msg.addr;
+            n.requester = msg.requester;
+            net_.send(n);
+        }
+        return;
+    }
+    Line &line = lines_[msg.addr];
+    wo_assert(line.st == LineState::modified ||
+                  line.st == LineState::exclusive_clean,
+              "forward for line %u not exclusive at cache %u (state %d)",
+              msg.addr, id_, static_cast<int>(line.st));
+    if (msg.type == MsgType::fwd_get_s) {
+        line.st = LineState::shared;
+        Message wb;
+        wb.type = MsgType::wb_data;
+        wb.src = id_;
+        wb.dst = dir_;
+        wb.addr = msg.addr;
+        wb.value = line.value;
+        wb.requester = msg.requester;
+        net_.send(wb);
+    } else {
+        wo_assert(msg.type == MsgType::fwd_get_x, "unexpected forward %s",
+                  msg.toString().c_str());
+        const Value v = line.value;
+        line.st = LineState::invalid;
+        Message data;
+        data.type = MsgType::data_x;
+        data.src = id_;
+        data.dst = msg.requester;
+        data.addr = msg.addr;
+        data.value = v;
+        data.ack_count = 0;
+        data.from_exclusive = true;
+        net_.send(data);
+        Message ta;
+        ta.type = MsgType::transfer_ack;
+        ta.src = id_;
+        ta.dst = dir_;
+        ta.addr = msg.addr;
+        ta.requester = msg.requester;
+        net_.send(ta);
+    }
+}
+
+void
+Cache::handleData(const Message &msg)
+{
+    auto it = mshrs_.find(msg.addr);
+    wo_assert(it != mshrs_.end(), "data for %u with no MSHR at cache %u",
+              msg.addr, id_);
+    Mshr m = std::move(it->second);
+    mshrs_.erase(it);
+    --misses_in_flight_;
+    stats_.histogram(m.want_exclusive ? "write_miss_latency"
+                                      : "read_miss_latency")
+        .sample(eq_.now() - m.issued);
+
+    Line &line = lines_[msg.addr];
+    line.value = msg.value;
+    bool performed_now;
+    if (msg.type == MsgType::data_s || msg.type == MsgType::data_e) {
+        line.st = msg.type == MsgType::data_e
+                      ? LineState::exclusive_clean
+                      : LineState::shared;
+        performed_now = true; // a read is performed when its value binds
+        decrementCounter();
+    } else {
+        line.st = LineState::modified;
+        if (msg.from_exclusive || msg.ack_count == 0) {
+            performed_now = true;
+            decrementCounter();
+        } else {
+            performed_now = false;
+            wo_assert(!mem_ack_wait_.count(msg.addr),
+                      "two pending MemAcks for line %u", msg.addr);
+            mem_ack_wait_[msg.addr] = m.req.id;
+        }
+    }
+    commit(m.req, 0, performed_now);
+
+    // Same-address requests queued behind the miss run now, as hits (or a
+    // fresh upgrade miss if we only obtained a shared copy).
+    std::deque<CacheReq> queued;
+    queued.swap(m.queued_reqs);
+    for (const CacheReq &r : queued)
+        access(r);
+
+    // Forwards that raced ahead of our data are served last.
+    std::deque<Message> fwds;
+    fwds.swap(m.queued_fwds);
+    for (const Message &f : fwds)
+        serveForward(f);
+}
+
+void
+Cache::handleMemAck(const Message &msg)
+{
+    auto it = mem_ack_wait_.find(msg.addr);
+    wo_assert(it != mem_ack_wait_.end(),
+              "unexpected MemAck for line %u at cache %u", msg.addr, id_);
+    const std::uint64_t rid = it->second;
+    mem_ack_wait_.erase(it);
+    decrementCounter();
+    CacheClient *client = client_;
+    eq_.schedule(0, strprintf("c%u.memack#%llu", id_,
+                              static_cast<unsigned long long>(rid)),
+                 [client, rid] { client->onGloballyPerformed(rid); });
+}
+
+void
+Cache::handleInv(const Message &msg)
+{
+    Line &line = lines_[msg.addr];
+    wo_assert(line.st != LineState::modified &&
+                  line.st != LineState::exclusive_clean,
+              "invalidation for exclusive line %u at cache %u", msg.addr,
+              id_);
+    line.st = LineState::invalid;
+    stats_.counter("invalidations").inc();
+    Message ack;
+    ack.type = MsgType::inv_ack;
+    ack.src = id_;
+    ack.dst = dir_;
+    ack.addr = msg.addr;
+    ack.requester = msg.requester;
+    net_.send(ack);
+}
+
+void
+Cache::handleNack(const Message &msg)
+{
+    auto it = mshrs_.find(msg.addr);
+    wo_assert(it != mshrs_.end(), "nack for %u with no MSHR at cache %u",
+              msg.addr, id_);
+    Mshr &m = it->second;
+    stats_.counter("nacks").inc();
+    // The miss failed for now: it no longer counts as outstanding, which
+    // lets this processor's own reserve bits clear (avoiding the crossed
+    // release/acquire deadlock); retry after a backoff.
+    decrementCounter();
+    --misses_in_flight_;
+    const Addr addr = msg.addr;
+    const bool exclusive = m.want_exclusive;
+    const bool is_sync = m.req.is_sync;
+    eq_.schedule(cfg_.retry_delay, strprintf("c%u.retry[%u]", id_, addr),
+                 [this, addr, exclusive, is_sync] {
+                     // The MSHR is still allocated; re-send the request.
+                     wo_assert(mshrs_.count(addr),
+                               "retry without MSHR for %u", addr);
+                     ++counter_;
+                     ++misses_in_flight_;
+                     Message r;
+                     r.type = exclusive ? MsgType::get_x : MsgType::get_s;
+                     r.src = id_;
+                     r.dst = dir_;
+                     r.addr = addr;
+                     r.requester = id_;
+                     r.is_sync = is_sync;
+                     net_.send(r);
+                 });
+}
+
+void
+Cache::receive(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::data_s:
+      case MsgType::data_e:
+      case MsgType::data_x:
+        handleData(msg);
+        break;
+      case MsgType::mem_ack:
+        handleMemAck(msg);
+        break;
+      case MsgType::inv:
+        handleInv(msg);
+        break;
+      case MsgType::fwd_get_s:
+      case MsgType::fwd_get_x:
+        serveForward(msg);
+        break;
+      case MsgType::nack:
+        handleNack(msg);
+        break;
+      default:
+        wo_panic("cache %u cannot handle %s", id_, msg.toString().c_str());
+    }
+}
+
+} // namespace wo

@@ -1,0 +1,50 @@
+#include "network.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+Network::Network(EventQueue &eq, const NetworkCfg &cfg)
+    : eq_(eq), cfg_(cfg), rng_(cfg.seed), stats_("net")
+{
+}
+
+void
+Network::attach(NodeId id, MsgHandler *handler)
+{
+    if (handlers_.size() <= id)
+        handlers_.resize(id + 1, nullptr);
+    wo_assert(handlers_[id] == nullptr, "node %u attached twice", id);
+    handlers_[id] = handler;
+}
+
+Tick
+Network::nextDepartureSlot(NodeId src, NodeId dst, Tick earliest)
+{
+    Tick &last = last_delivery_[{src, dst}];
+    Tick slot = std::max(earliest, last + 1);
+    last = slot;
+    return slot;
+}
+
+void
+Network::send(Message msg)
+{
+    wo_assert(msg.dst < handlers_.size() && handlers_[msg.dst],
+              "message to unattached node %u: %s", msg.dst,
+              msg.toString().c_str());
+    stats_.counter("messages").inc();
+    stats_.counter(std::string("msg.") + msgTypeName(msg.type)).inc();
+    Tick delay = cfg_.hop_latency;
+    if (cfg_.jitter > 0)
+        delay += rng_.below(cfg_.jitter + 1);
+    const Tick when =
+        nextDepartureSlot(msg.src, msg.dst, eq_.now() + delay);
+    MsgHandler *handler = handlers_[msg.dst];
+    eq_.scheduleAt(when, msg.toString(),
+                   [handler, msg] { handler->receive(msg); });
+}
+
+} // namespace wo

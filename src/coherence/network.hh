@@ -1,0 +1,80 @@
+/**
+ * @file
+ * A point-to-point interconnection network with configurable latency and
+ * optional per-message jitter.  Delivery between a given (source,
+ * destination) pair is FIFO -- the protocol relies on it -- but messages on
+ * different pairs race freely, which is the "general interconnection
+ * network" of the paper's implementation model: no global ordering and no
+ * atomicity of transactions.
+ */
+
+#ifndef WO_COHERENCE_NETWORK_HH
+#define WO_COHERENCE_NETWORK_HH
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "coherence/message.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+#include "event/event_queue.hh"
+
+namespace wo {
+
+/** Anything that can receive protocol messages. */
+class MsgHandler
+{
+  public:
+    virtual ~MsgHandler() = default;
+
+    /** Deliver @p msg to this node. */
+    virtual void receive(const Message &msg) = 0;
+};
+
+/** Network configuration. */
+struct NetworkCfg
+{
+    Tick hop_latency = 10;  //!< base one-way latency
+    Tick jitter = 0;        //!< uniform extra delay in [0, jitter]
+    std::uint64_t seed = 1; //!< jitter RNG seed
+};
+
+/** The interconnect. */
+class Network
+{
+  public:
+    /**
+     * @param eq   the event queue driving the simulation
+     * @param cfg  latency parameters
+     */
+    Network(EventQueue &eq, const NetworkCfg &cfg);
+
+    /** Register the handler for node @p id (must outlive the network). */
+    void attach(NodeId id, MsgHandler *handler);
+
+    /** Send @p msg from msg.src to msg.dst after the configured latency. */
+    void send(Message msg);
+
+    /** Messages sent so far. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Mutable statistics access. */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /** FIFO delivery within a pair despite jitter. */
+    Tick nextDepartureSlot(NodeId src, NodeId dst, Tick earliest);
+
+    EventQueue &eq_;
+    NetworkCfg cfg_;
+    Rng rng_;
+    std::vector<MsgHandler *> handlers_;
+    // Last scheduled delivery tick per (src,dst) pair, to keep FIFO order.
+    std::map<std::pair<NodeId, NodeId>, Tick> last_delivery_;
+    StatGroup stats_;
+};
+
+} // namespace wo
+
+#endif // WO_COHERENCE_NETWORK_HH

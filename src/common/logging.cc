@@ -1,0 +1,120 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace wo {
+
+namespace {
+LogLevel g_level = LogLevel::normal;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+std::string
+vstrprintf(const char *fmt, std::va_list ap)
+{
+    std::va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (n < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<std::size_t>(n));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string s = vstrprintf(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+namespace {
+
+void
+emit(const char *banner, const char *file, int line, const char *fmt,
+     std::va_list ap)
+{
+    std::string msg = vstrprintf(fmt, ap);
+    if (file)
+        std::fprintf(stderr, "%s: %s  @ %s:%d\n", banner, msg.c_str(), file,
+                     line);
+    else
+        std::fprintf(stderr, "%s: %s\n", banner, msg.c_str());
+    std::fflush(stderr);
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fflush(stdout); // keep buffered traces ahead of the abort
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("panic", file, line, fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("fatal", file, line, fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::va_list ap;
+    va_start(ap, fmt);
+    emit("warn", nullptr, 0, fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level == LogLevel::quiet)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+verbose(const char *fmt, ...)
+{
+    if (g_level != LogLevel::verbose)
+        return;
+    std::va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vstrprintf(fmt, ap);
+    va_end(ap);
+    std::fprintf(stdout, "debug: %s\n", msg.c_str());
+}
+
+} // namespace wo

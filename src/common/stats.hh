@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Lightweight statistics collection for the timed simulator and benches.
+ *
+ * A StatGroup owns a set of named scalar counters and histograms.  The timed
+ * components (CPUs, caches, directory, network) register their statistics in
+ * a group and the benchmark harness formats them; nothing here is meant to
+ * be clever, only uniform and printable.
+ */
+
+#ifndef WO_COMMON_STATS_HH
+#define WO_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wo {
+
+/** A named monotonically adjustable scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add @p delta (default 1) to the counter. */
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+
+    /** Overwrite the counter (for sampled gauges). */
+    void set(std::uint64_t v) { value_ = v; }
+
+    /** Current value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero. */
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A histogram over non-negative samples with mean/max/percentile queries. */
+class Histogram
+{
+  public:
+    /** Record one sample. */
+    void sample(std::uint64_t v);
+
+    /** Number of samples recorded. */
+    std::uint64_t count() const { return count_; }
+
+    /** Sum of all samples. */
+    std::uint64_t sum() const { return sum_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Largest sample (0 when empty). */
+    std::uint64_t max() const { return max_; }
+
+    /** Smallest sample (0 when empty). */
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+
+    /**
+     * Approximate p-th percentile (p in [0,100]) computed from the stored
+     * samples.  The full sample vector is retained; simulations here are
+     * small enough that exactness beats a sketch.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /** Drop all samples. */
+    void reset();
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t max_ = 0;
+    std::uint64_t min_ = ~std::uint64_t{0};
+    mutable std::vector<std::uint64_t> samples_;
+    mutable bool sorted_ = true;
+};
+
+/** A named collection of counters and histograms with a text dump. */
+class StatGroup
+{
+  public:
+    /** Construct a group labelled @p name (appears in dumps). */
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Find or create the counter @p name. */
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    /** Find or create the histogram @p name. */
+    Histogram &histogram(const std::string &name) { return hists_[name]; }
+
+    /** Group label. */
+    const std::string &name() const { return name_; }
+
+    /** Reset every statistic in the group. */
+    void resetAll();
+
+    /** Render all statistics as "group.stat value" lines. */
+    std::string dump() const;
+
+    /** Read access for formatters. */
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    /** Read access for formatters. */
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace wo
+
+#endif // WO_COMMON_STATS_HH

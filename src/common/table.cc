@@ -1,0 +1,89 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace wo {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    wo_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    wo_assert(cells.size() == headers_.size(),
+              "row has %zu cells, table has %zu columns", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+            c != '-' && c != '+' && c != 'e' && c != '%' && c != 'x')
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        std::string line;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            const std::string &cell = row[c];
+            const std::size_t pad = width[c] - cell.size();
+            line += "| ";
+            if (looksNumeric(cell)) {
+                line += std::string(pad, ' ') + cell;
+            } else {
+                line += cell + std::string(pad, ' ');
+            }
+            line += ' ';
+        }
+        line += "|\n";
+        return line;
+    };
+
+    std::string sep = "";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        sep += "+" + std::string(width[c] + 2, '-');
+    sep += "+\n";
+
+    std::string out = sep + emit_row(headers_) + sep;
+    for (const auto &row : rows_)
+        out += emit_row(row);
+    out += sep;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace wo

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A plain-text table formatter used by the benchmark binaries to print the
+ * rows each paper figure/table corresponds to.  Columns are sized to their
+ * widest cell; numbers are right-aligned, text left-aligned.
+ */
+
+#ifndef WO_COMMON_TABLE_HH
+#define WO_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace wo {
+
+/** An ascii table with a header row and uniform column alignment. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format heterogeneous cells with strprintf upstream. */
+    std::size_t columns() const { return headers_.size(); }
+
+    /** Render the table, ending with a newline. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace wo
+
+#endif // WO_COMMON_TABLE_HH

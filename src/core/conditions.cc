@@ -1,0 +1,244 @@
+#include "conditions.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+namespace {
+
+/** A write with its commit time, for the per-location serialization. */
+struct CommittedWrite
+{
+    Tick commit;
+    Value value;
+    OpId id;
+    ProcId proc;
+    std::size_t po_idx; //!< tie-break within a processor (program order)
+};
+
+/** A sync op with its processor and timing-index context. */
+struct SyncOp
+{
+    ProcId proc;
+    std::size_t idx; //!< index into timings[proc] / procOps(proc)
+    Tick commit;
+    AccessKind kind;
+    OpId id; //!< global retire order: witnesses same-tick event order
+};
+
+void
+addViolation(ConditionsResult &r, int cond, std::string detail)
+{
+    r.ok = false;
+    r.violations.push_back(ConditionViolation{cond, std::move(detail)});
+}
+
+} // namespace
+
+ConditionsResult
+checkSufficientConditions(const SystemResult &result)
+{
+    ConditionsResult out;
+    const Execution &exec = result.execution;
+    const auto &timings = result.timings;
+
+    // --- Collect per-location write orders and sync op lists. -----------
+    std::map<Addr, std::vector<CommittedWrite>> writes;
+    std::map<Addr, std::vector<SyncOp>> syncs;
+    for (ProcId p = 0; p < exec.numProcs(); ++p) {
+        const auto &po = exec.procOps(p);
+        wo_assert(po.size() == timings[p].size(),
+                  "timings and execution out of step for P%u", p);
+        for (std::size_t i = 0; i < po.size(); ++i) {
+            const MemoryOp &op = exec.op(po[i]);
+            const OpTiming &t = timings[p][i];
+            if (op.isWrite())
+                writes[op.addr].push_back(CommittedWrite{
+                    t.committed, op.value_written, op.id, p, i});
+            if (op.isSync())
+                syncs[op.addr].push_back(
+                    SyncOp{p, i, t.committed, op.kind, op.id});
+        }
+    }
+    // Same-tick commits from one processor are legal (queued hits commit
+    // within one event tick, sub-ordered by program order), so the total
+    // order is (commit tick, then program order within a processor).
+    for (auto &[addr, ws] : writes)
+        std::sort(ws.begin(), ws.end(),
+                  [](const CommittedWrite &a, const CommittedWrite &b) {
+                      if (a.commit != b.commit)
+                          return a.commit < b.commit;
+                      if (a.proc != b.proc)
+                          return a.proc < b.proc; // flagged below anyway
+                      return a.po_idx < b.po_idx;
+                  });
+
+    // --- C2: per-location write serialization. --------------------------
+    // (a) cross-processor commit-time ties are unserialized;
+    for (const auto &[addr, ws] : writes) {
+        for (std::size_t i = 1; i < ws.size(); ++i) {
+            if (ws[i].commit == ws[i - 1].commit &&
+                ws[i].proc != ws[i - 1].proc) {
+                addViolation(out, 2,
+                             strprintf("two processors' writes to [%u] "
+                                       "commit at tick %llu",
+                                       addr,
+                                       (unsigned long long)ws[i].commit));
+            }
+        }
+    }
+    // (b) every processor observes the write order as a subsequence
+    //     (greedy matching; value repeats may mask but never fabricate a
+    //     violation);
+    for (ProcId p = 0; p < exec.numProcs(); ++p) {
+        std::map<Addr, std::size_t> pos; // next admissible write position
+        for (OpId id : exec.procOps(p)) {
+            const MemoryOp &op = exec.op(id);
+            if (!op.isRead())
+                continue;
+            const auto it = writes.find(op.addr);
+            const auto &ws =
+                it == writes.end()
+                    ? std::vector<CommittedWrite>{}
+                    : it->second;
+            std::size_t &cursor = pos[op.addr];
+            if (cursor == 0 && op.value_read == exec.initialValue(op.addr))
+                continue; // still at the initial value
+            bool found = false;
+            for (std::size_t k = cursor == 0 ? 0 : cursor - 1;
+                 k < ws.size(); ++k) {
+                if (ws[k].value == op.value_read) {
+                    cursor = k + 1;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                addViolation(
+                    out, 2,
+                    strprintf("%s observes location [%u] going backwards "
+                              "in the write order",
+                              op.toString().c_str(), op.addr));
+            }
+        }
+    }
+    // (c) final memory is the last committed write.
+    for (const auto &[addr, ws] : writes) {
+        if (!ws.empty() && result.outcome.memory[addr] != ws.back().value) {
+            addViolation(out, 2,
+                         strprintf("final memory [%u]=%lld but last "
+                                   "committed write stored %lld",
+                                   addr,
+                                   (long long)result.outcome.memory[addr],
+                                   (long long)ws.back().value));
+        }
+    }
+
+    // --- C3: per-location total order of synchronization commits. -------
+    // The simulator's event queue serializes same-tick events, and the
+    // global retire order (OpId) witnesses that sub-tick order, so a
+    // total (commit tick, event order) order always exists; what C3 can
+    // still catch is a DUPLICATED witness -- two sync ops claiming the
+    // same commit instant in both dimensions, which the event kernel
+    // makes impossible in a correct run.  Under the Section-6 refinement
+    // read-only synchronization is deliberately not serialized and is
+    // exempt.
+    for (auto &[addr, ss] : syncs) {
+        std::vector<SyncOp> sorted;
+        for (const SyncOp &s : ss)
+            if (!(result.weak_sync_read_policy &&
+                  s.kind == AccessKind::sync_read))
+                sorted.push_back(s);
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const SyncOp &a, const SyncOp &b) {
+                      if (a.commit != b.commit)
+                          return a.commit < b.commit;
+                      return a.id < b.id;
+                  });
+        for (std::size_t i = 1; i < sorted.size(); ++i) {
+            if (sorted[i].commit == sorted[i - 1].commit &&
+                sorted[i].id == sorted[i - 1].id) {
+                addViolation(out, 3,
+                             strprintf("synchronization operations on "
+                                       "[%u] share a commit witness at "
+                                       "tick %llu",
+                                       addr,
+                                       (unsigned long long)
+                                           sorted[i].commit));
+            }
+        }
+    }
+
+    // --- C4: no access issues before previous syncs commit. -------------
+    for (ProcId p = 0; p < exec.numProcs(); ++p) {
+        Tick last_sync_commit = 0;
+        const auto &po = exec.procOps(p);
+        for (std::size_t i = 0; i < po.size(); ++i) {
+            const MemoryOp &op = exec.op(po[i]);
+            const OpTiming &t = timings[p][i];
+            if (t.issued < last_sync_commit) {
+                addViolation(out, 4,
+                             strprintf("P%u issues op #%zu at %llu before "
+                                       "its previous sync committed at "
+                                       "%llu",
+                                       p, i,
+                                       (unsigned long long)t.issued,
+                                       (unsigned long long)
+                                           last_sync_commit));
+            }
+            if (op.isSync())
+                last_sync_commit = t.committed;
+        }
+    }
+
+    // --- C5: the reservation guarantee. ----------------------------------
+    // For each sync S1 by Pi: other processors' syncs on the same
+    // location committing after S1 must commit no earlier than the global
+    // perform of every write of Pi preceding S1 in program order.
+    // Under the Section-6 refinement read-only synchronization is exempt
+    // on BOTH sides: a read-only S1 publishes no ordering, and a
+    // read-only S2 may legally commit on a still-valid shared copy --
+    // serializing BEFORE S1 in the per-location order even though its
+    // commit tick is later (it read the pre-S1 value; the refill path
+    // that would hand it the post-S1 value stalls on the reserve bit).
+    for (const auto &[addr, ss] : syncs) {
+        for (const SyncOp &s1 : ss) {
+            if (s1.kind == AccessKind::sync_read &&
+                result.weak_sync_read_policy)
+                continue;
+            Tick barrier = 0;
+            const auto &po1 = exec.procOps(s1.proc);
+            for (std::size_t i = 0; i < s1.idx; ++i) {
+                const MemoryOp &op = exec.op(po1[i]);
+                const OpTiming &t = timings[s1.proc][i];
+                if (op.isWrite())
+                    barrier = std::max(barrier, t.performed);
+                if (op.isRead())
+                    barrier = std::max(barrier, t.committed);
+            }
+            for (const SyncOp &s2 : ss) {
+                if (s2.proc == s1.proc || s2.commit <= s1.commit)
+                    continue;
+                if (s2.kind == AccessKind::sync_read &&
+                    result.weak_sync_read_policy)
+                    continue;
+                if (s2.commit < barrier) {
+                    addViolation(
+                        out, 5,
+                        strprintf("P%u sync on [%u] commits at %llu, "
+                                  "inside P%u's pre-sync window (until "
+                                  "%llu)",
+                                  s2.proc, addr,
+                                  (unsigned long long)s2.commit, s1.proc,
+                                  (unsigned long long)barrier));
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace wo

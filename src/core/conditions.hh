@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Runtime verification of the paper's Section-5.1 sufficient conditions
+ * on a finished timed run.  Appendix B proves these conditions imply weak
+ * ordering w.r.t. DRF0; this harness checks that the hardware actually
+ * exhibits them, turning the proof's premises into assertions:
+ *
+ *   C2  all writes to a location are totally ordered by commit time and
+ *       observed in that order: every read returns the value of the last
+ *       write to its location committed before it, or forwards the value
+ *       of a *later-performing* own write (store-to-load forwarding of a
+ *       pending write), and the final memory image is the last commit;
+ *   C3  synchronization operations on a location are totally ordered by
+ *       commit time (no two commit at the same tick);
+ *   C4  accesses issue only after the processor's previous
+ *       synchronization operations have committed;
+ *   C5  once synchronization operation S by Pi commits, no other
+ *       processor's synchronization operation on the same location
+ *       commits until Pi's reads before S have committed and Pi's writes
+ *       before S are globally performed.
+ *
+ * (C1, intra-processor dependencies, is enforced structurally by the
+ * in-order CPU and is visible as program-order issue in the timings.)
+ *
+ * The checks consume SystemResult::timings (program order per processor,
+ * with commit/performed ticks) and the retired execution.
+ */
+
+#ifndef WO_CORE_CONDITIONS_HH
+#define WO_CORE_CONDITIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "sys/system.hh"
+
+namespace wo {
+
+/** One violated premise. */
+struct ConditionViolation
+{
+    int condition;       //!< 2..5
+    std::string detail;
+
+    std::string
+    toString() const
+    {
+        return strprintf("condition %d: %s", condition, detail.c_str());
+    }
+};
+
+/** Result of the sufficient-conditions audit. */
+struct ConditionsResult
+{
+    bool ok = true;
+    std::vector<ConditionViolation> violations;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Audit a completed run against conditions 2-5.
+ * @param result  the run to audit (must have completed)
+ */
+ConditionsResult checkSufficientConditions(const SystemResult &result);
+
+} // namespace wo
+
+#endif // WO_CORE_CONDITIONS_HH

@@ -1,0 +1,179 @@
+#include "doall.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "program/builder.hh"
+
+namespace wo {
+
+std::string
+DoallIssue::toString() const
+{
+    return strprintf("phase %zu: P%u writes [%u] while P%u %s it", phase,
+                     writer, addr, other,
+                     other_writes ? "also writes" : "reads");
+}
+
+DoallResult
+checkDoallDiscipline(const DoallPlan &plan)
+{
+    DoallResult result;
+    for (std::size_t ph = 0; ph < plan.phases.size(); ++ph) {
+        const auto &accesses = plan.phases[ph];
+        wo_assert(accesses.size() == plan.threads,
+                  "phase %zu has %zu thread entries, plan has %u threads",
+                  ph, accesses.size(), plan.threads);
+        for (ProcId w = 0; w < plan.threads; ++w) {
+            for (Addr a : accesses[w].writes) {
+                for (ProcId o = 0; o < plan.threads; ++o) {
+                    if (o == w)
+                        continue;
+                    if (accesses[o].writes.count(a)) {
+                        // Report each unordered pair once.
+                        if (o > w)
+                            result.issues.push_back(
+                                DoallIssue{ph, w, o, a, true});
+                    } else if (accesses[o].reads.count(a)) {
+                        result.issues.push_back(
+                            DoallIssue{ph, w, o, a, false});
+                    }
+                }
+            }
+        }
+    }
+    result.valid = result.issues.empty();
+    return result;
+}
+
+Program
+buildPhased(const DoallPlan &plan)
+{
+    wo_assert(!plan.phases.empty(), "plan needs at least one phase");
+    const Addr lock = plan.data_locations;
+    auto counter_of = [&](std::size_t ph) {
+        return lock + 1 + static_cast<Addr>(2 * ph);
+    };
+    auto flag_of = [&](std::size_t ph) {
+        return lock + 2 + static_cast<Addr>(2 * ph);
+    };
+
+    ProgramBuilder b(plan.name, plan.threads);
+    Value next_value = 1;
+    // Distinct value streams per (thread, phase) keep reads identifiable.
+    for (ProcId t = 0; t < plan.threads; ++t) {
+        auto &tb = b.thread(t);
+        for (std::size_t ph = 0; ph < plan.phases.size(); ++ph) {
+            const PhaseAccess &pa = plan.phases[ph][t];
+            int reg = 0;
+            for (Addr a : pa.reads) {
+                tb.load(static_cast<RegId>(reg % 4), a);
+                ++reg;
+            }
+            for (Addr a : pa.writes)
+                tb.store(a, next_value++);
+            // Centralized barrier: lock-protected arrival count plus a
+            // release flag (same shape as litmus::barrier).
+            std::string skip = strprintf("skip%zu", ph);
+            std::string spin = strprintf("spin%zu", ph);
+            tb.acquire(lock);
+            tb.load(4, counter_of(ph)).addi(4, 4, 1).storeReg(
+                counter_of(ph), 4);
+            tb.release(lock);
+            tb.bne(4, static_cast<Value>(plan.threads), skip);
+            tb.syncStore(flag_of(ph), 1);
+            tb.label(skip);
+            tb.label(spin);
+            tb.syncLoad(5, flag_of(ph));
+            tb.beq(5, 0, spin);
+        }
+        tb.halt();
+    }
+    b.nameLocation(lock, "L");
+    for (std::size_t ph = 0; ph < plan.phases.size(); ++ph) {
+        b.nameLocation(counter_of(ph), strprintf("count%zu", ph));
+        b.nameLocation(flag_of(ph), strprintf("go%zu", ph));
+    }
+    return b.build();
+}
+
+DoallPlan
+randomDoallPlan(ProcId threads, std::size_t phases, Addr locations,
+                int ops_per_phase, std::uint64_t seed)
+{
+    wo_assert(locations >= threads, "need at least one location/thread");
+    Rng rng(seed);
+    DoallPlan plan;
+    plan.name = strprintf("doall-s%llu",
+                          static_cast<unsigned long long>(seed));
+    plan.threads = threads;
+    plan.data_locations = locations;
+    const Addr chunk = locations / threads;
+
+    // Partition ownership rotates across phases, so later phases read
+    // data other threads wrote earlier.
+    auto owner_base = [&](std::size_t ph, ProcId t) {
+        return static_cast<Addr>(((t + ph) % threads) * chunk);
+    };
+    for (std::size_t ph = 0; ph < phases; ++ph) {
+        std::vector<PhaseAccess> accesses(threads);
+        for (ProcId t = 0; t < threads; ++t) {
+            const Addr base = owner_base(ph, t);
+            for (int k = 0; k < ops_per_phase; ++k) {
+                Addr mine = base + static_cast<Addr>(rng.below(chunk));
+                if (rng.chance(3, 5)) {
+                    accesses[t].writes.insert(mine);
+                } else if (ph > 0) {
+                    // Read anywhere: previous phases ordered by barriers.
+                    accesses[t].reads.insert(
+                        static_cast<Addr>(rng.below(chunk * threads)));
+                } else {
+                    accesses[t].reads.insert(mine);
+                }
+            }
+        }
+        // Same-phase reads of locations written by OTHER threads would be
+        // races; scrub them (cross-phase reads are ordered by the
+        // barriers and stay).
+        for (ProcId t = 0; t < threads; ++t) {
+            std::set<Addr> clean;
+            for (Addr a : accesses[t].reads) {
+                bool conflicted = false;
+                for (ProcId o = 0; o < threads; ++o)
+                    if (o != t && accesses[o].writes.count(a))
+                        conflicted = true;
+                if (!conflicted)
+                    clean.insert(a);
+            }
+            accesses[t].reads = std::move(clean);
+        }
+        plan.phases.push_back(std::move(accesses));
+    }
+    return plan;
+}
+
+DoallPlan
+randomConflictingPlan(ProcId threads, std::size_t phases, Addr locations,
+                      int ops_per_phase, std::uint64_t seed)
+{
+    DoallPlan plan =
+        randomDoallPlan(threads, phases, locations, ops_per_phase, seed);
+    Rng rng(seed ^ 0xbadc0ffeULL);
+    // Inject one same-phase conflict: another thread reads a written
+    // location.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        auto ph = rng.below(plan.phases.size());
+        auto w = static_cast<ProcId>(rng.below(threads));
+        if (plan.phases[ph][w].writes.empty())
+            continue;
+        auto o = static_cast<ProcId>(rng.below(threads));
+        if (o == w)
+            continue;
+        Addr victim = *plan.phases[ph][w].writes.begin();
+        plan.phases[ph][o].reads.insert(victim);
+        plan.name += "-conflict";
+        return plan;
+    }
+    wo_panic("could not inject a conflict (empty plan?)");
+}
+
+} // namespace wo

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The "parallelism only from do-all loops" synchronization model the
+ * paper's conclusion proposes, realized as a *structured program* family:
+ * computation proceeds in phases separated by centralized barriers, and
+ * within a phase each thread touches a declared set of locations.
+ *
+ * The synchronization model's "enough synchronization" condition is then
+ * purely structural -- no execution enumeration at all:
+ *
+ *   for every phase, no location written by one thread is read or
+ *   written by another thread in the same phase
+ *
+ * (cross-phase conflicts are ordered by the barrier's happens-before
+ * chain).  checkDoallDiscipline() validates a phase plan; buildPhased()
+ * emits the corresponding program with the barrier code inlined, so the
+ * soundness property "valid plan => program obeys DRF0" is testable
+ * against the exhaustive checker.
+ */
+
+#ifndef WO_CORE_DOALL_HH
+#define WO_CORE_DOALL_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace wo {
+
+/** One thread's declared accesses within one phase. */
+struct PhaseAccess
+{
+    std::set<Addr> reads;
+    std::set<Addr> writes;
+};
+
+/** A phased (do-all) program plan. */
+struct DoallPlan
+{
+    std::string name = "doall";
+    ProcId threads = 2;
+    // plan[phase][thread]
+    std::vector<std::vector<PhaseAccess>> phases;
+    Addr data_locations = 0; //!< shared data space [0, data_locations)
+};
+
+/** One discipline violation. */
+struct DoallIssue
+{
+    std::size_t phase;
+    ProcId writer;
+    ProcId other;
+    Addr addr;
+    bool other_writes; //!< write-write (else write-read) overlap
+
+    std::string toString() const;
+};
+
+/** Result of the structural check. */
+struct DoallResult
+{
+    bool valid = false;
+    std::vector<DoallIssue> issues;
+
+    explicit operator bool() const { return valid; }
+};
+
+/** Check the phase plan's disjointness condition. */
+DoallResult checkDoallDiscipline(const DoallPlan &plan);
+
+/**
+ * Emit the program for a plan: per phase, each thread performs its
+ * declared reads and writes (writes store fresh distinct values), then
+ * all threads pass a centralized sense-counting barrier built from the
+ * canonical lock/flag idioms.  The barrier locations live above
+ * plan.data_locations.
+ */
+Program buildPhased(const DoallPlan &plan);
+
+/**
+ * Generate a random VALID plan (threads get disjoint write partitions
+ * per phase; reads may target anything written in an earlier phase or
+ * their own partition).
+ */
+DoallPlan randomDoallPlan(ProcId threads, std::size_t phases,
+                          Addr locations, int ops_per_phase,
+                          std::uint64_t seed);
+
+/**
+ * Generate an INVALID plan: like randomDoallPlan but with one injected
+ * same-phase conflict.
+ */
+DoallPlan randomConflictingPlan(ProcId threads, std::size_t phases,
+                                Addr locations, int ops_per_phase,
+                                std::uint64_t seed);
+
+} // namespace wo
+
+#endif // WO_CORE_DOALL_HH

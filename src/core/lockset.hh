@@ -1,0 +1,77 @@
+/**
+ * @file
+ * A static synchronization model for the "sharing only through monitors"
+ * paradigm the paper's conclusion proposes: every shared data location
+ * must be protected by a lock, acquired with the canonical TestAndSet
+ * spin idioms and released with a synchronization store of 0.
+ *
+ * The checker is purely static -- no execution enumeration:
+ *
+ *  1. recognize ACQUIRE(L)/RELEASE(L) regions per thread by pattern
+ *     matching the spin idioms (see matchAcquire in the implementation);
+ *  2. compute, by a forward dataflow fixpoint over each thread's CFG
+ *     (meet = set intersection), the set of locks *definitely held* at
+ *     every instruction;
+ *  3. for every location accessed by more than one thread with at least
+ *     one write, require a common lock held at ALL its accesses (the
+ *     static form of the Eraser lockset invariant).
+ *
+ * Soundness (tested as a property, not proved here): a program certified
+ * by this discipline obeys DRF0 -- any two conflicting accesses hold a
+ * common lock L, the critical sections of L are totally ordered by so
+ * edges through L, and po completes the happens-before chain.  The
+ * converse is false: DRF0 admits programs this static fragment rejects
+ * (flag handoffs, barriers), which is exactly the trade the paper
+ * describes when specializing synchronization models to a paradigm.
+ */
+
+#ifndef WO_CORE_LOCKSET_HH
+#define WO_CORE_LOCKSET_HH
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace wo {
+
+/** One static-discipline diagnostic. */
+struct LocksetIssue
+{
+    enum class Kind
+    {
+        unprotected_access, //!< shared location with no common lock
+        naked_sync,         //!< sync op outside a recognized idiom
+        release_not_held,   //!< releasing a lock not definitely held
+    };
+    Kind kind;
+    ProcId proc;
+    Pc pc;
+    Addr addr;
+    std::string detail;
+
+    std::string toString(const Program &prog) const;
+};
+
+/** Result of the static discipline check. */
+struct LocksetResult
+{
+    bool certified = false; //!< program is in the fragment and race-free
+    std::vector<LocksetIssue> issues;
+    /** Locks protecting each shared location (for certified programs). */
+    std::vector<std::set<Addr>> protection;
+
+    explicit operator bool() const { return certified; }
+};
+
+/**
+ * Statically certify @p prog under the monitor discipline.
+ * Locations touched by only one thread, and locations only ever read,
+ * need no protection.
+ */
+LocksetResult checkLockDiscipline(const Program &prog);
+
+} // namespace wo
+
+#endif // WO_CORE_LOCKSET_HH

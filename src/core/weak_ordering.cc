@@ -1,0 +1,19 @@
+#include "weak_ordering.hh"
+
+namespace wo {
+
+std::string
+ContractResult::toString() const
+{
+    std::string out = holds ? "contract HOLDS over suite\n"
+                            : "contract VIOLATED\n";
+    for (const auto &e : entries) {
+        out += strprintf("  %-28s %-14s %-12s%s\n", e.program.c_str(),
+                         e.obeys_model ? "obeys-DRF0" : "violates-DRF0",
+                         e.appears_sc ? "appears-SC" : "NOT-SC",
+                         e.reliable ? "" : "  (unreliable: truncated)");
+    }
+    return out;
+}
+
+} // namespace wo

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The paper's central Definition 2, as an executable contract:
+ *
+ *   "Hardware is weakly ordered with respect to a synchronization model
+ *    if and only if it appears sequentially consistent to all software
+ *    that obey the synchronization model."
+ *
+ * "Appears sequentially consistent" is checked extensionally: a machine's
+ * observable results for a program are its outcome set (values returned by
+ * reads are reflected in final registers, plus the final memory image); the
+ * machine appears SC to the program iff every outcome it can produce is
+ * also producible by the idealized SC machine.  conformsForProgram()
+ * decides that for one (hardware model, program) pair; checkContract()
+ * packages the full Definition-2 statement over a suite of programs,
+ * classifying each by the synchronization model first.
+ *
+ * Because the definition quantifies over *all* obeying software it can
+ * never be proven by testing alone -- the paper proves it once per
+ * implementation (Appendix B); these functions provide the refutation
+ * side (any violation is a definite counterexample) and statistical
+ * confidence via the random-program property suites.
+ */
+
+#ifndef WO_CORE_WEAK_ORDERING_HH
+#define WO_CORE_WEAK_ORDERING_HH
+
+#include <string>
+
+#include "core/drf0_checker.hh"
+#include "models/explorer.hh"
+#include "models/sc_model.hh"
+#include "program/program.hh"
+
+namespace wo {
+
+/** Result of a Definition-2 conformance query for one program. */
+struct ConformanceResult
+{
+    bool appears_sc = false;      //!< hardware outcomes subset of SC outcomes
+    bool reliable = true;         //!< false when exploration truncated
+    std::set<Outcome> extra;      //!< hardware outcomes SC cannot produce
+    ExploreResult hw;             //!< hardware exploration
+    ExploreResult sc;             //!< SC reference exploration
+
+    explicit operator bool() const { return appears_sc; }
+
+    /** One-line human summary. */
+    std::string
+    toString() const
+    {
+        if (appears_sc)
+            return strprintf("appears SC (%zu outcomes within %zu SC "
+                             "outcomes)",
+                             hw.outcomes.size(), sc.outcomes.size());
+        std::string s = strprintf("NOT SC: %zu outcome(s) beyond SC's %zu",
+                                  extra.size(), sc.outcomes.size());
+        if (!extra.empty())
+            s += "; e.g. " + extra.begin()->toString();
+        return s;
+    }
+};
+
+/**
+ * Does hardware model @p hw appear sequentially consistent to @p prog?
+ * Explores both machines exhaustively and compares outcome sets.
+ */
+template <typename HwModel>
+ConformanceResult
+conformsForProgram(const HwModel &hw, const Program &prog,
+                   const ExploreCfg &cfg = {})
+{
+    ConformanceResult r;
+    r.hw = exploreOutcomes(hw, cfg);
+    ScModel sc(prog);
+    r.sc = exploreOutcomes(sc, cfg);
+    r.extra = r.hw.minus(r.sc);
+    r.appears_sc = r.extra.empty();
+    r.reliable = !r.hw.truncated && !r.sc.truncated;
+    return r;
+}
+
+/** Per-program entry in a Definition-2 contract check. */
+struct ContractEntry
+{
+    std::string program;      //!< program name
+    bool obeys_model = false; //!< software side: program obeys the model
+    bool appears_sc = false;  //!< hardware side: outcomes within SC
+    bool relevant = false;    //!< counts against the contract (obeys_model)
+    bool reliable = true;     //!< both checks ran to completion
+};
+
+/** Outcome of a Definition-2 contract check over a program suite. */
+struct ContractResult
+{
+    bool holds = true; //!< no obeying program saw a non-SC outcome
+    std::vector<ContractEntry> entries;
+
+    /** Multi-line report. */
+    std::string toString() const;
+};
+
+/**
+ * Check Definition 2 for hardware factory @p make_hw against a suite:
+ * every program classified as obeying DRF0 (per @p drf0_cfg) must appear
+ * sequentially consistent.  Programs violating the model are still listed
+ * (their behaviour is unconstrained by the contract).
+ *
+ * @param make_hw   callable Program const& -> hardware model instance
+ */
+template <typename MakeHw>
+ContractResult
+checkContract(MakeHw &&make_hw, const std::vector<Program> &suite,
+              const Drf0CheckerCfg &drf0_cfg = {},
+              const ExploreCfg &explore_cfg = {})
+{
+    ContractResult result;
+    for (const Program &prog : suite) {
+        ContractEntry e;
+        e.program = prog.name();
+        SyncModelVerdict v = checkDrf0(prog, drf0_cfg);
+        e.obeys_model = v.obeys;
+        e.relevant = v.obeys;
+        auto hw = make_hw(prog);
+        ConformanceResult c = conformsForProgram(hw, prog, explore_cfg);
+        e.appears_sc = c.appears_sc;
+        e.reliable = c.reliable && !v.exhausted;
+        if (e.relevant && !e.appears_sc)
+            result.holds = false;
+        result.entries.push_back(std::move(e));
+    }
+    return result;
+}
+
+} // namespace wo
+
+#endif // WO_CORE_WEAK_ORDERING_HH

@@ -1,0 +1,63 @@
+#include "event_queue.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+void
+EventQueue::schedule(Tick delay, std::string label, std::function<void()> fn)
+{
+    scheduleAt(now_ + delay, std::move(label), std::move(fn));
+}
+
+void
+EventQueue::scheduleAt(Tick when, std::string label, std::function<void()> fn)
+{
+    wo_assert(when >= now_, "scheduling event '%s' in the past (%llu < %llu)",
+              label.c_str(), static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(now_));
+    pq_.push(Event{when, next_seq_++, std::move(label), std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (pq_.empty())
+        return false;
+    // The callback may schedule new events, so move the event out first.
+    Event ev = pq_.top();
+    pq_.pop();
+    now_ = ev.when;
+    verbose("t=%llu event %s", static_cast<unsigned long long>(now_),
+            ev.label.c_str());
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (step()) {
+        if (++n > max_events)
+            wo_panic("event queue exceeded %llu events: livelock?",
+                     static_cast<unsigned long long>(max_events));
+    }
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(const std::function<bool()> &done,
+                     std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (!done() && step()) {
+        if (++n > max_events)
+            wo_panic("event queue exceeded %llu events: livelock?",
+                     static_cast<unsigned long long>(max_events));
+    }
+    return n;
+}
+
+} // namespace wo

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * The timed substrate (network, caches, directory, CPUs) advances simulated
+ * time by scheduling callbacks on a single EventQueue.  Events scheduled for
+ * the same tick execute in FIFO order of scheduling (stable), which keeps
+ * runs deterministic for a given seed.
+ */
+
+#ifndef WO_EVENT_EVENT_QUEUE_HH
+#define WO_EVENT_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wo {
+
+/** A scheduled callback with a firing time and a debugging label. */
+struct Event
+{
+    Tick when;                  //!< absolute firing time
+    std::uint64_t seq;          //!< tie-break: schedule order
+    std::string label;          //!< debugging aid, shown in traces
+    std::function<void()> fn;   //!< the action
+};
+
+/**
+ * A single-threaded event queue ordered by (tick, schedule sequence).
+ *
+ * The queue is run either to exhaustion (runAll) or until a caller-supplied
+ * predicate holds (runUntil).  Components capture `this` in their callbacks;
+ * all components must therefore outlive the queue drain.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run @p delay ticks from now.
+     * @param delay  relative delay (0 runs later in the current tick)
+     * @param label  debugging label shown by verbose tracing
+     * @param fn     the callback
+     */
+    void schedule(Tick delay, std::string label, std::function<void()> fn);
+
+    /** Schedule at an absolute tick, which must not be in the past. */
+    void scheduleAt(Tick when, std::string label, std::function<void()> fn);
+
+    /** True when no events remain. */
+    bool empty() const { return pq_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return pq_.size(); }
+
+    /** Pop and execute a single event; returns false if none remain. */
+    bool step();
+
+    /**
+     * Drain the queue.
+     * @param max_events safety valve: panic after this many events, which
+     *        turns an accidental simulator livelock into a loud failure.
+     * @return number of events executed
+     */
+    std::uint64_t runAll(std::uint64_t max_events = 50'000'000);
+
+    /**
+     * Drain until @p done returns true (checked after every event) or the
+     * queue empties.  @return number of events executed.
+     */
+    std::uint64_t runUntil(const std::function<bool()> &done,
+                           std::uint64_t max_events = 50'000'000);
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, Later> pq_;
+};
+
+} // namespace wo
+
+#endif // WO_EVENT_EVENT_QUEUE_HH

@@ -1,0 +1,41 @@
+#include "memory_op.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+const char *
+accessKindName(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::data_read: return "R";
+      case AccessKind::data_write: return "W";
+      case AccessKind::sync_read: return "SR";
+      case AccessKind::sync_write: return "SW";
+      case AccessKind::sync_rmw: return "SRW";
+    }
+    return "?";
+}
+
+std::string
+MemoryOp::toString() const
+{
+    switch (kind) {
+      case AccessKind::data_read:
+      case AccessKind::sync_read:
+        return strprintf("P%u %s([%u])=%lld #%u", proc, accessKindName(kind),
+                         addr, static_cast<long long>(value_read), id);
+      case AccessKind::data_write:
+      case AccessKind::sync_write:
+        return strprintf("P%u %s([%u])<-%lld #%u", proc, accessKindName(kind),
+                         addr, static_cast<long long>(value_written), id);
+      case AccessKind::sync_rmw:
+        return strprintf("P%u %s([%u])=%lld<-%lld #%u", proc,
+                         accessKindName(kind), addr,
+                         static_cast<long long>(value_read),
+                         static_cast<long long>(value_written), id);
+    }
+    return "?";
+}
+
+} // namespace wo

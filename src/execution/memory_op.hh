@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Dynamic memory operations: the records out of which executions, outcomes,
+ * happens-before relations and SC-explainability queries are built.
+ *
+ * Following the paper's conventions (Section 5.1), "reads" cover data reads,
+ * read-only synchronization operations and the read component of read-write
+ * synchronization operations; symmetrically for writes.  A read-write
+ * synchronization operation (TestAndSet) is kept as a single record with
+ * both a value-read and a value-written.
+ */
+
+#ifndef WO_EXECUTION_MEMORY_OP_HH
+#define WO_EXECUTION_MEMORY_OP_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace wo {
+
+/** The five dynamic access classes. */
+enum class AccessKind : std::uint8_t
+{
+    data_read,  //!< ordinary load
+    data_write, //!< ordinary store
+    sync_read,  //!< read-only synchronization ("Test")
+    sync_write, //!< write-only synchronization ("Unset"/"Set")
+    sync_rmw,   //!< read-write synchronization ("TestAndSet")
+};
+
+/** Printable name of an access kind. */
+const char *accessKindName(AccessKind k);
+
+/** One dynamic memory operation of an execution. */
+struct MemoryOp
+{
+    OpId id = invalid_op;   //!< unique per execution
+    ProcId proc = 0;        //!< issuing processor
+    Addr addr = invalid_addr; //!< accessed location
+    AccessKind kind = AccessKind::data_read;
+    Value value_read = 0;    //!< value returned (reads and rmw)
+    Value value_written = 0; //!< value stored (writes and rmw)
+    std::uint32_t po_index = 0; //!< position in the processor's program order
+    Tick commit_tick = 0;    //!< commit time in timed runs (0 otherwise)
+
+    /** Has a read component. */
+    bool isRead() const
+    {
+        return kind == AccessKind::data_read ||
+               kind == AccessKind::sync_read || kind == AccessKind::sync_rmw;
+    }
+
+    /** Has a write component. */
+    bool isWrite() const
+    {
+        return kind == AccessKind::data_write ||
+               kind == AccessKind::sync_write || kind == AccessKind::sync_rmw;
+    }
+
+    /** Is a synchronization operation. */
+    bool isSync() const
+    {
+        return kind == AccessKind::sync_read ||
+               kind == AccessKind::sync_write || kind == AccessKind::sync_rmw;
+    }
+
+    /**
+     * Two accesses conflict if they access the same location and they are
+     * not both reads (paper, Definition 3).
+     */
+    bool conflictsWith(const MemoryOp &other) const
+    {
+        return addr == other.addr && (isWrite() || other.isWrite());
+    }
+
+    /** e.g. "P1 W(x)=3 @5". */
+    std::string toString() const;
+};
+
+} // namespace wo
+
+#endif // WO_EXECUTION_MEMORY_OP_HH

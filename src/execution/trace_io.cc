@@ -1,0 +1,172 @@
+#include "trace_io.hh"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+std::string
+traceToText(const Execution &exec)
+{
+    std::string out = strprintf("trace %u %u\n", exec.numProcs(),
+                                exec.numLocations());
+    for (Addr a = 0; a < exec.numLocations(); ++a)
+        if (exec.initialValue(a) != 0)
+            out += strprintf("init %u %lld\n", a,
+                             static_cast<long long>(exec.initialValue(a)));
+    for (const MemoryOp &op : exec.ops()) {
+        out += strprintf("op %u %s %u %lld %lld %llu\n", op.proc,
+                         accessKindName(op.kind), op.addr,
+                         static_cast<long long>(op.value_read),
+                         static_cast<long long>(op.value_written),
+                         static_cast<unsigned long long>(op.commit_tick));
+    }
+    return out;
+}
+
+namespace {
+
+bool
+kindFromName(const std::string &name, AccessKind &out)
+{
+    if (name == "R")
+        out = AccessKind::data_read;
+    else if (name == "W")
+        out = AccessKind::data_write;
+    else if (name == "SR")
+        out = AccessKind::sync_read;
+    else if (name == "SW")
+        out = AccessKind::sync_write;
+    else if (name == "SRW")
+        out = AccessKind::sync_rmw;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+TraceParseResult
+traceFromText(const std::string &text)
+{
+    TraceParseResult result;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    ProcId procs = 0;
+    Addr locs = 0;
+    bool have_header = false;
+    std::vector<std::pair<Addr, Value>> inits;
+    struct RawOp
+    {
+        ProcId proc;
+        AccessKind kind;
+        Addr addr;
+        Value vr, vw;
+        Tick tick;
+    };
+    std::vector<RawOp> ops;
+
+    auto error = [&](const std::string &msg) {
+        result.errors.push_back(TraceError{lineno, msg});
+    };
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream ls(line);
+        std::string word;
+        if (!(ls >> word))
+            continue;
+        if (word == "trace") {
+            unsigned p = 0, l = 0;
+            if (!(ls >> p >> l) || p == 0) {
+                error("usage: trace <procs> <locations>");
+                continue;
+            }
+            procs = static_cast<ProcId>(p);
+            locs = static_cast<Addr>(l);
+            have_header = true;
+        } else if (word == "init") {
+            Addr a;
+            long long v;
+            if (!(ls >> a >> v)) {
+                error("usage: init <addr> <value>");
+                continue;
+            }
+            inits.emplace_back(a, static_cast<Value>(v));
+        } else if (word == "op") {
+            unsigned p;
+            std::string kind_name;
+            Addr a;
+            long long vr, vw;
+            unsigned long long tick = 0;
+            if (!(ls >> p >> kind_name >> a >> vr >> vw)) {
+                error("usage: op <proc> <kind> <addr> <vread> <vwritten> "
+                      "[tick]");
+                continue;
+            }
+            ls >> tick; // optional
+            AccessKind kind;
+            if (!kindFromName(kind_name, kind)) {
+                error("unknown access kind '" + kind_name + "'");
+                continue;
+            }
+            ops.push_back(RawOp{static_cast<ProcId>(p), kind, a,
+                                static_cast<Value>(vr),
+                                static_cast<Value>(vw), tick});
+        } else {
+            error("unknown directive '" + word + "'");
+        }
+    }
+    if (!have_header) {
+        lineno = 0;
+        error("missing 'trace <procs> <locations>' header");
+        return result;
+    }
+    for (const auto &op : ops) {
+        if (op.proc >= procs) {
+            error(strprintf("op processor %u out of range", op.proc));
+            return result;
+        }
+        if (op.addr >= locs) {
+            error(strprintf("op address %u out of range", op.addr));
+            return result;
+        }
+    }
+    std::vector<Value> initial(locs, 0);
+    for (auto &[a, v] : inits) {
+        if (a >= locs) {
+            error(strprintf("init address %u out of range", a));
+            return result;
+        }
+        initial[a] = v;
+    }
+    Execution e(procs, locs, std::move(initial));
+    for (const auto &op : ops)
+        e.append(op.proc, op.addr, op.kind, op.vr, op.vw, op.tick);
+    result.execution = std::move(e);
+    return result;
+}
+
+TraceParseResult
+traceFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        TraceParseResult r;
+        r.errors.push_back(TraceError{0, "cannot open '" + path + "'"});
+        return r;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return traceFromText(ss.str());
+}
+
+} // namespace wo

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Text serialization for executions, so traces captured from the timed
+ * system (or written by hand, or produced by other tools) can be stored
+ * and analyzed offline with the SC checker, the race detector and the
+ * DOT exporter via `wotool`.
+ *
+ * Format (line oriented, '#' comments):
+ *
+ *     trace <procs> <locations>
+ *     init <addr> <value>            -- optional, non-zero initial values
+ *     op <proc> <kind> <addr> <value_read> <value_written> <tick>
+ *
+ * kind is one of R, W, SR, SW, SRW (as printed by accessKindName).  Ops
+ * appear in completion order; per-processor subsequences are program
+ * order, as Execution requires.
+ */
+
+#ifndef WO_EXECUTION_TRACE_IO_HH
+#define WO_EXECUTION_TRACE_IO_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "execution/execution.hh"
+
+namespace wo {
+
+/** A parse diagnostic. */
+struct TraceError
+{
+    int line = 0;
+    std::string message;
+
+    std::string
+    toString() const
+    {
+        return strprintf("line %d: %s", line, message.c_str());
+    }
+};
+
+/** Result of parsing a trace text. */
+struct TraceParseResult
+{
+    std::optional<Execution> execution;
+    std::vector<TraceError> errors;
+
+    bool ok() const { return execution.has_value() && errors.empty(); }
+};
+
+/** Serialize @p exec (round-trips through traceFromText). */
+std::string traceToText(const Execution &exec);
+
+/** Parse a trace text. */
+TraceParseResult traceFromText(const std::string &text);
+
+/** Parse a trace file; adds an error if unreadable. */
+TraceParseResult traceFromFile(const std::string &path);
+
+} // namespace wo
+
+#endif // WO_EXECUTION_TRACE_IO_HH

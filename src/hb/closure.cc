@@ -1,0 +1,78 @@
+#include "closure.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+HbClosure::HbClosure(const Execution &exec, HbRelation::SyncFlavor flavor)
+{
+    const std::size_t n = exec.ops().size();
+    words_ = (n + 63) / 64;
+    reach_.assign(n, std::vector<std::uint64_t>(words_, 0));
+
+    // Direct edges.  po: consecutive ops of each processor (the closure of
+    // the chain equals the closure of all pairs).  so: for every sync
+    // location, consecutive sync ops in completion order -- except under
+    // the weak-sync-read flavor, where a pure sync read receives an edge
+    // from the last publisher but contributes no outgoing edge.
+    std::vector<std::vector<OpId>> succs(n);
+    auto add_edge = [&](OpId a, OpId b, bool is_po) {
+        succs[a].push_back(b);
+        (is_po ? po_edges_ : so_edges_).emplace_back(a, b);
+    };
+
+    for (ProcId p = 0; p < exec.numProcs(); ++p) {
+        const auto &po = exec.procOps(p);
+        for (std::size_t i = 1; i < po.size(); ++i)
+            add_edge(po[i - 1], po[i], true);
+    }
+
+    if (flavor == HbRelation::SyncFlavor::drf0) {
+        std::map<Addr, OpId> last_sync;
+        for (const MemoryOp &op : exec.ops()) {
+            if (!op.isSync())
+                continue;
+            auto it = last_sync.find(op.addr);
+            if (it != last_sync.end())
+                add_edge(it->second, op.id, false);
+            last_sync[op.addr] = op.id;
+        }
+    } else {
+        std::map<Addr, OpId> last_publisher;
+        for (const MemoryOp &op : exec.ops()) {
+            if (!op.isSync())
+                continue;
+            auto it = last_publisher.find(op.addr);
+            if (it != last_publisher.end())
+                add_edge(it->second, op.id, false);
+            if (op.kind != AccessKind::sync_read)
+                last_publisher[op.addr] = op.id;
+        }
+    }
+
+    // Reverse-topological accumulation: ops are appended in an order
+    // consistent with every edge (po by the execution contract, so by
+    // completion order), so iterating from the last op backwards lets each
+    // op absorb its successors' full reachability in one pass.
+    for (std::size_t a = n; a-- > 0;) {
+        auto &row = reach_[a];
+        for (OpId b : succs[a]) {
+            wo_assert(b > a, "hb edge %zu->%u against append order", a, b);
+            row[b / 64] |= std::uint64_t{1} << (b % 64);
+            const auto &brow = reach_[b];
+            for (std::size_t w = 0; w < words_; ++w)
+                row[w] |= brow[w];
+        }
+    }
+}
+
+bool
+HbClosure::ordered(OpId a, OpId b) const
+{
+    wo_assert(a < reach_.size() && b < reach_.size(), "op id out of range");
+    return (reach_[a][b / 64] >> (b % 64)) & 1;
+}
+
+} // namespace wo

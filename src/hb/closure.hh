@@ -1,0 +1,58 @@
+/**
+ * @file
+ * An explicit-transitive-closure implementation of happens-before, used as
+ * an independent oracle against the vector-clock HbRelation in property
+ * tests, and to expose the raw po/so edge lists for visualisation.
+ *
+ * Complexity is O(V * E / 64) via bitset reachability -- fine for the
+ * execution sizes the laboratory handles, and kept deliberately simple so
+ * it can serve as ground truth.
+ */
+
+#ifndef WO_HB_CLOSURE_HH
+#define WO_HB_CLOSURE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "execution/execution.hh"
+#include "hb/happens_before.hh"
+
+namespace wo {
+
+/** Ground-truth hb via explicit edges + bitset reachability. */
+class HbClosure
+{
+  public:
+    /** Build for @p exec with the given synchronization flavor. */
+    explicit HbClosure(const Execution &exec,
+                       HbRelation::SyncFlavor flavor =
+                           HbRelation::SyncFlavor::drf0);
+
+    /** True iff op a happens-before op b. */
+    bool ordered(OpId a, OpId b) const;
+
+    /** The direct program-order edges (successive ops of one processor). */
+    const std::vector<std::pair<OpId, OpId>> &poEdges() const
+    {
+        return po_edges_;
+    }
+
+    /** The direct synchronization-order edges. */
+    const std::vector<std::pair<OpId, OpId>> &soEdges() const
+    {
+        return so_edges_;
+    }
+
+  private:
+    std::size_t words_;
+    // reach_[a] bitset: which ops are reachable (strictly after) from a.
+    std::vector<std::vector<std::uint64_t>> reach_;
+    std::vector<std::pair<OpId, OpId>> po_edges_;
+    std::vector<std::pair<OpId, OpId>> so_edges_;
+};
+
+} // namespace wo
+
+#endif // WO_HB_CLOSURE_HH

@@ -1,0 +1,66 @@
+#include "dot.hh"
+
+#include "common/logging.hh"
+#include "hb/closure.hh"
+#include "hb/race.hh"
+
+namespace wo {
+
+namespace {
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+executionToDot(const Execution &exec, const DotCfg &cfg)
+{
+    HbClosure closure(exec, cfg.flavor);
+    std::string out = "digraph execution {\n"
+                      "  rankdir=TB;\n"
+                      "  node [shape=box, fontname=\"monospace\"];\n";
+    if (!cfg.title.empty())
+        out += strprintf("  label=\"%s\";\n  labelloc=t;\n",
+                         escape(cfg.title).c_str());
+
+    for (ProcId p = 0; p < exec.numProcs(); ++p) {
+        out += strprintf("  subgraph cluster_p%u {\n    label=\"P%u\";\n",
+                         p, p);
+        for (OpId id : exec.procOps(p)) {
+            const MemoryOp &op = exec.op(id);
+            const char *fill = op.isSync() ? "lightblue" : "white";
+            out += strprintf(
+                "    n%u [label=\"%s\", style=filled, fillcolor=%s];\n",
+                id, escape(op.toString()).c_str(), fill);
+        }
+        out += "  }\n";
+    }
+    for (const auto &[a, b] : closure.poEdges())
+        out += strprintf("  n%u -> n%u;\n", a, b);
+    for (const auto &[a, b] : closure.soEdges())
+        out += strprintf(
+            "  n%u -> n%u [style=dashed, color=blue, label=\"so\"];\n", a,
+            b);
+    if (cfg.mark_races) {
+        RaceDetectorCfg rcfg;
+        rcfg.flavor = cfg.flavor;
+        for (const Race &r : findRaces(exec, rcfg))
+            out += strprintf("  n%u -> n%u [dir=none, color=red, "
+                             "penwidth=2, label=\"race\"];\n",
+                             r.first, r.second);
+    }
+    out += "}\n";
+    return out;
+}
+
+} // namespace wo

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Graphviz (DOT) export of an execution's happens-before structure, in
+ * the visual style of the paper's Figure 2: one column ("cluster") per
+ * processor in program order, solid po edges, dashed so edges, and races
+ * highlighted in red.  Feed the output to `dot -Tsvg` to get the figure.
+ */
+
+#ifndef WO_HB_DOT_HH
+#define WO_HB_DOT_HH
+
+#include <string>
+
+#include "execution/execution.hh"
+#include "hb/happens_before.hh"
+
+namespace wo {
+
+/** Options for the DOT rendering. */
+struct DotCfg
+{
+    HbRelation::SyncFlavor flavor = HbRelation::SyncFlavor::drf0;
+    bool mark_races = true; //!< add red edges between racing accesses
+    std::string title;      //!< graph label (defaults to nothing)
+};
+
+/** Render @p exec as a DOT graph. */
+std::string executionToDot(const Execution &exec, const DotCfg &cfg = {});
+
+} // namespace wo
+
+#endif // WO_HB_DOT_HH

@@ -1,0 +1,57 @@
+#include "fig2.hh"
+
+namespace wo {
+namespace fig2 {
+
+Execution
+executionA()
+{
+    // Two independent synchronization chains, one through location a
+    // ordering all accesses to x, one through location b ordering all
+    // accesses to y.  Append order is the (idealized) completion order.
+    Execution e(6, 5);
+    // x chain: P0 writes x, hands off through S(a) to P1 which reads x and
+    // hands off again to P2 which overwrites x.
+    e.append(0, loc_x, AccessKind::data_write, 0, 1); // P0 W(x)
+    e.append(0, loc_a, AccessKind::sync_rmw, 0, 1);   // P0 S(a)
+    e.append(1, loc_a, AccessKind::sync_rmw, 1, 2);   // P1 S(a)
+    e.append(1, loc_x, AccessKind::data_read, 1, 0);  // P1 R(x)
+    e.append(1, loc_a, AccessKind::sync_rmw, 2, 3);   // P1 S(a)
+    e.append(2, loc_a, AccessKind::sync_rmw, 3, 4);   // P2 S(a)
+    e.append(2, loc_x, AccessKind::data_write, 0, 2); // P2 W(x)
+    // y chain: symmetric through location b on processors P3, P4, P5.
+    e.append(3, loc_y, AccessKind::data_write, 0, 1); // P3 W(y)
+    e.append(3, loc_b, AccessKind::sync_rmw, 0, 1);   // P3 S(b)
+    e.append(4, loc_b, AccessKind::sync_rmw, 1, 2);   // P4 S(b)
+    e.append(4, loc_y, AccessKind::data_read, 1, 0);  // P4 R(y)
+    e.append(4, loc_b, AccessKind::sync_rmw, 2, 3);   // P4 S(b)
+    e.append(5, loc_b, AccessKind::sync_rmw, 3, 4);   // P5 S(b)
+    e.append(5, loc_y, AccessKind::data_write, 0, 2); // P5 W(y)
+    return e;
+}
+
+Execution
+executionB()
+{
+    Execution e(5, 5);
+    // P0 reads and writes y with no synchronization at all.
+    e.append(0, loc_y, AccessKind::data_read, 0, 0);  // P0 R(y)
+    e.append(0, loc_y, AccessKind::data_write, 0, 7); // P0 W(y)
+    // P1 synchronizes on a -- but nobody else touches a, so its write of y
+    // is unordered with P0's accesses: the first family of races.
+    e.append(1, loc_a, AccessKind::sync_rmw, 0, 1);   // P1 S(a)
+    e.append(1, loc_y, AccessKind::data_write, 0, 8); // P1 W(y)
+    // P2 writes z and then synchronizes on b; P3 synchronizes on b and
+    // reads z -- that pair IS ordered and is not a race.
+    e.append(2, loc_z, AccessKind::data_write, 0, 5); // P2 W(z)
+    e.append(2, loc_b, AccessKind::sync_rmw, 0, 1);   // P2 S(b)
+    e.append(3, loc_b, AccessKind::sync_rmw, 1, 2);   // P3 S(b)
+    e.append(3, loc_z, AccessKind::data_read, 5, 0);  // P3 R(z)
+    // P4 writes z with no synchronization: unordered with P2's write of z,
+    // the second family of races.
+    e.append(4, loc_z, AccessKind::data_write, 0, 6); // P4 W(z)
+    return e;
+}
+
+} // namespace fig2
+} // namespace wo

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The paper's Figure 2: an example and a counter-example of DRF0, encoded
+ * as idealized executions.
+ *
+ * The figure itself is a two-dimensional timing diagram; this encoding is a
+ * faithful reconstruction that preserves exactly the properties the caption
+ * states:
+ *
+ *  (a) six processors; every pair of conflicting accesses is ordered by
+ *      happens-before through chains of synchronization operations ==> the
+ *      execution obeys DRF0;
+ *  (b) five processors; the accesses of P0 conflict with the write of P1
+ *      but are not ordered with respect to it by happens-before, and the
+ *      writes by P2 and P4 conflict but are unordered ==> the execution
+ *      violates DRF0, with precisely those two families of races.
+ */
+
+#ifndef WO_HB_FIG2_HH
+#define WO_HB_FIG2_HH
+
+#include "execution/execution.hh"
+
+namespace wo {
+namespace fig2 {
+
+/** Location numbering shared by both executions. */
+inline constexpr Addr loc_x = 0; //!< data
+inline constexpr Addr loc_y = 1; //!< data
+inline constexpr Addr loc_z = 2; //!< data
+inline constexpr Addr loc_a = 3; //!< synchronization
+inline constexpr Addr loc_b = 4; //!< synchronization
+
+/** Figure 2(a): the DRF0-obeying execution. */
+Execution executionA();
+
+/** Figure 2(b): the DRF0-violating execution. */
+Execution executionB();
+
+} // namespace fig2
+} // namespace wo
+
+#endif // WO_HB_FIG2_HH

@@ -1,0 +1,68 @@
+#include "happens_before.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+HbRelation::HbRelation(const Execution &exec, SyncFlavor flavor) : exec_(exec)
+{
+    const ProcId procs = exec.numProcs();
+    clocks_.reserve(exec.ops().size());
+
+    // Current clock of each processor (its most recent op's clock).
+    std::vector<VectorClock> proc_clock(procs, VectorClock(procs));
+    // Accumulated clock of each synchronization location's channel.
+    std::map<Addr, VectorClock> chan;
+
+    for (const MemoryOp &op : exec.ops()) {
+        VectorClock vc = proc_clock[op.proc];
+        vc[op.proc] += 1; // this op's own tick
+
+        if (op.isSync()) {
+            auto it = chan.find(op.addr);
+            if (it == chan.end())
+                it = chan.emplace(op.addr, VectorClock(procs)).first;
+            // Receive ordering from every earlier sync op on the location.
+            vc.join(it->second);
+            // Publish ordering to later sync ops on the location -- unless
+            // the weak-sync-read refinement is active and this is a pure
+            // sync read: a Test must not order the issuing processor's
+            // previous accesses for subsequent synchronizers, so it only
+            // receives from the channel and publishes nothing.
+            const bool publishes =
+                flavor == SyncFlavor::drf0 ||
+                op.kind != AccessKind::sync_read;
+            if (publishes)
+                it->second.join(vc);
+        }
+
+        clocks_.push_back(vc);
+        proc_clock[op.proc] = vc;
+    }
+}
+
+bool
+HbRelation::ordered(OpId a, OpId b) const
+{
+    wo_assert(a < clocks_.size() && b < clocks_.size(),
+              "op id out of range");
+    if (a == b)
+        return false;
+    const MemoryOp &opa = exec_.op(a);
+    // a hb b iff b's clock has incorporated a's tick from a's processor.
+    // (Ticks propagate only along po and publish/receive edges, and every
+    // such edge carries the full clock, so this single-component test is
+    // equivalent to the component-wise comparison.)
+    return clocks_[a][opa.proc] <= clocks_[b][opa.proc];
+}
+
+const VectorClock &
+HbRelation::clock(OpId id) const
+{
+    wo_assert(id < clocks_.size(), "op id out of range");
+    return clocks_[id];
+}
+
+} // namespace wo

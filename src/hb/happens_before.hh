@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The happens-before relation of Section 4:
+ *
+ *     op1 -po-> op2  iff op1 precedes op2 in some processor's program order
+ *     op1 -so-> op2  iff both are synchronization operations on the same
+ *                    location and op1 completes before op2
+ *     hb = (po U so)+
+ *
+ * HbRelation computes hb for an Execution whose append order is the
+ * completion order (true for idealized executions by construction, and for
+ * machine-produced executions by the producer's contract).  Internally each
+ * operation receives a vector clock; op1 -hb-> op2 is then a constant-time
+ * component comparison.
+ *
+ * The paper's "augmentation" for initial and final state (hypothetical
+ * initializing writes and final reads bracketed by synchronization) is
+ * modelled implicitly: the initial value of a location behaves as a write
+ * that happens-before every operation, and the final state is read after
+ * everything; neither can therefore ever participate in a race, exactly as
+ * in the augmented execution.
+ */
+
+#ifndef WO_HB_HAPPENS_BEFORE_HH
+#define WO_HB_HAPPENS_BEFORE_HH
+
+#include <vector>
+
+#include "execution/execution.hh"
+#include "hb/vector_clock.hh"
+
+namespace wo {
+
+/**
+ * Happens-before over one execution, with optional weakening of read-only
+ * synchronization (the Section-6 refinement: a read-only synchronization
+ * operation does not order the issuing processor's *previous* accesses
+ * with respect to subsequent synchronization of other processors --
+ * realized here by having a sync read join the location's channel but not
+ * publish into it).
+ */
+class HbRelation
+{
+  public:
+    /** Synchronization-ordering flavor. */
+    enum class SyncFlavor
+    {
+        drf0,          //!< all sync ops on a location are mutually ordered
+        weak_sync_read //!< sync reads receive but do not publish ordering
+    };
+
+    /**
+     * Build hb for @p exec (append order == completion order).
+     */
+    explicit HbRelation(const Execution &exec,
+                        SyncFlavor flavor = SyncFlavor::drf0);
+
+    /** True iff op @p a happens-before op @p b (irreflexive). */
+    bool ordered(OpId a, OpId b) const;
+
+    /** True iff a hb b or b hb a. */
+    bool orderedEitherWay(OpId a, OpId b) const
+    {
+        return ordered(a, b) || ordered(b, a);
+    }
+
+    /** The clock assigned to op @p id. */
+    const VectorClock &clock(OpId id) const;
+
+    /** The execution this relation was built over. */
+    const Execution &execution() const { return exec_; }
+
+  private:
+    const Execution &exec_;
+    std::vector<VectorClock> clocks_;
+};
+
+} // namespace wo
+
+#endif // WO_HB_HAPPENS_BEFORE_HH

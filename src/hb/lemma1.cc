@@ -1,0 +1,82 @@
+#include "lemma1.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+std::string
+Lemma1Violation::toString(const Execution &exec) const
+{
+    if (kind == Kind::ambiguous_last) {
+        return strprintf("ambiguous hb-last write before %s (race): "
+                         "e.g. %s",
+                         exec.op(read).toString().c_str(),
+                         last_write == invalid_op
+                             ? "<none>"
+                             : exec.op(last_write).toString().c_str());
+    }
+    return strprintf("%s should have returned %lld from %s",
+                     exec.op(read).toString().c_str(),
+                     static_cast<long long>(expected),
+                     last_write == invalid_op
+                         ? "<initial value>"
+                         : exec.op(last_write).toString().c_str());
+}
+
+Lemma1Result
+checkHbLastWrite(const Execution &exec, HbRelation::SyncFlavor flavor)
+{
+    HbRelation hb(exec, flavor);
+    Lemma1Result result;
+
+    // Writes per location, in completion order.
+    std::map<Addr, std::vector<OpId>> writes;
+    for (const MemoryOp &op : exec.ops())
+        if (op.isWrite())
+            writes[op.addr].push_back(op.id);
+
+    for (const MemoryOp &op : exec.ops()) {
+        if (!op.isRead())
+            continue;
+        // Collect the hb-maximal writes ordered before the read.
+        std::vector<OpId> maximal;
+        auto it = writes.find(op.addr);
+        if (it != writes.end()) {
+            for (OpId w : it->second) {
+                if (!hb.ordered(w, op.id))
+                    continue;
+                bool dominated = false;
+                for (OpId w2 : it->second) {
+                    if (w2 != w && hb.ordered(w, w2) &&
+                        hb.ordered(w2, op.id)) {
+                        dominated = true;
+                        break;
+                    }
+                }
+                if (!dominated)
+                    maximal.push_back(w);
+            }
+        }
+        if (maximal.size() > 1) {
+            result.ok = false;
+            result.violations.push_back(
+                Lemma1Violation{Lemma1Violation::Kind::ambiguous_last,
+                                op.id, maximal.front(), 0});
+            continue;
+        }
+        const Value expected = maximal.empty()
+                                   ? exec.initialValue(op.addr)
+                                   : exec.op(maximal.front()).value_written;
+        if (op.value_read != expected) {
+            result.ok = false;
+            result.violations.push_back(Lemma1Violation{
+                Lemma1Violation::Kind::wrong_value, op.id,
+                maximal.empty() ? invalid_op : maximal.front(), expected});
+        }
+    }
+    return result;
+}
+
+} // namespace wo

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The executable form of the paper's Lemma 1 (Appendix A), sufficiency
+ * direction: an execution of a DRF0 program appears sequentially
+ * consistent if there is a happens-before relation under which
+ *
+ *   (1) every read returns the value of the write to the same location
+ *       ordered LAST before it by happens-before (or the location's
+ *       initial value when no write precedes it), and
+ *   (2) that last write is unique -- for DRF0 programs the conflicting
+ *       writes preceding a read are totally ordered by hb, so ambiguity
+ *       itself witnesses a data race.
+ *
+ * checkHbLastWrite() evaluates this on a concrete execution using the hb
+ * relation induced by the execution's own completion order.  It is a
+ * *sufficient* witness: success proves SC-explainability without the
+ * exponential search of the full checker; failure of clause (1) on a
+ * race-free execution refutes it; ambiguity (clause 2) reports the race.
+ *
+ * The execution's append order must be its completion order (true for
+ * idealized executions and for the traces the machines in this repository
+ * produce).
+ */
+
+#ifndef WO_HB_LEMMA1_HH
+#define WO_HB_LEMMA1_HH
+
+#include <string>
+#include <vector>
+
+#include "execution/execution.hh"
+#include "hb/happens_before.hh"
+
+namespace wo {
+
+/** One read whose value disagrees with the hb-last write. */
+struct Lemma1Violation
+{
+    enum class Kind
+    {
+        wrong_value,    //!< read differs from the unique hb-last write
+        ambiguous_last, //!< hb-maximal preceding writes not unique (race)
+    };
+    Kind kind;
+    OpId read;             //!< the offending read
+    OpId last_write;       //!< an hb-maximal preceding write (if any)
+    Value expected;        //!< value the read should have returned
+
+    /** Render with op detail from @p exec. */
+    std::string toString(const Execution &exec) const;
+};
+
+/** Result of a Lemma-1 check. */
+struct Lemma1Result
+{
+    bool ok = true;
+    std::vector<Lemma1Violation> violations;
+
+    explicit operator bool() const { return ok; }
+};
+
+/**
+ * Check that every read of @p exec returns the value of the hb-last write
+ * to its location (initial value if none).
+ *
+ * For a read-write synchronization operation the read component is
+ * checked against writes strictly hb-before the operation.
+ */
+Lemma1Result checkHbLastWrite(const Execution &exec,
+                              HbRelation::SyncFlavor flavor =
+                                  HbRelation::SyncFlavor::drf0);
+
+} // namespace wo
+
+#endif // WO_HB_LEMMA1_HH

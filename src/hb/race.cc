@@ -1,0 +1,58 @@
+#include "race.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+std::string
+Race::toString(const Execution &exec) const
+{
+    return strprintf("race: %s  unordered-with  %s",
+                     exec.op(first).toString().c_str(),
+                     exec.op(second).toString().c_str());
+}
+
+std::vector<Race>
+findRaces(const Execution &exec, const RaceDetectorCfg &cfg)
+{
+    HbRelation hb(exec, cfg.flavor);
+    std::vector<Race> races;
+
+    // Group ops by location; only same-location pairs can conflict.
+    std::map<Addr, std::vector<OpId>> by_loc;
+    for (const MemoryOp &op : exec.ops())
+        by_loc[op.addr].push_back(op.id);
+
+    for (const auto &[addr, ids] : by_loc) {
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            const MemoryOp &a = exec.op(ids[i]);
+            for (std::size_t j = i + 1; j < ids.size(); ++j) {
+                const MemoryOp &b = exec.op(ids[j]);
+                if (a.proc == b.proc)
+                    continue; // po-ordered by construction
+                if (!a.conflictsWith(b))
+                    continue;
+                if (cfg.ignore_sync_pairs && a.isSync() && b.isSync())
+                    continue;
+                if (!hb.orderedEitherWay(a.id, b.id)) {
+                    races.push_back(Race{a.id, b.id});
+                    if (cfg.max_races && races.size() >= cfg.max_races)
+                        return races;
+                }
+            }
+        }
+    }
+    return races;
+}
+
+bool
+isRaceFree(const Execution &exec, const RaceDetectorCfg &cfg)
+{
+    RaceDetectorCfg one = cfg;
+    one.max_races = 1;
+    return findRaces(exec, one).empty();
+}
+
+} // namespace wo

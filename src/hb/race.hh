@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Data-race detection over idealized executions, and the single-execution
+ * half of the DRF0 check (Definition 3, clause 2): all conflicting accesses
+ * must be ordered by the execution's happens-before relation.
+ *
+ * The whole-program check ("for any execution on the idealized system...")
+ * lives in wo_core, which enumerates the idealized executions with the
+ * model explorer and applies this detector to each.
+ */
+
+#ifndef WO_HB_RACE_HH
+#define WO_HB_RACE_HH
+
+#include <string>
+#include <vector>
+
+#include "execution/execution.hh"
+#include "hb/happens_before.hh"
+
+namespace wo {
+
+/** A pair of conflicting accesses unordered by happens-before. */
+struct Race
+{
+    OpId first;  //!< earlier op in completion order
+    OpId second; //!< later op in completion order
+
+    /** Render with full op detail from @p exec. */
+    std::string toString(const Execution &exec) const;
+};
+
+/** Options for race detection. */
+struct RaceDetectorCfg
+{
+    /** Synchronization-order flavor used to build happens-before. */
+    HbRelation::SyncFlavor flavor = HbRelation::SyncFlavor::drf0;
+
+    /**
+     * Exempt conflicts where both accesses are synchronization operations.
+     * Under plain DRF0 such pairs are always so-ordered, so the flag has no
+     * effect; under the weak-sync-read refinement sync-sync pairs are the
+     * synchronization mechanism itself and must not be reported.
+     */
+    bool ignore_sync_pairs = false;
+
+    /** Stop after this many races (0 = find all). */
+    std::size_t max_races = 0;
+};
+
+/**
+ * Find every pair of conflicting accesses not ordered by happens-before in
+ * @p exec (whose append order must be the completion order).
+ */
+std::vector<Race> findRaces(const Execution &exec,
+                            const RaceDetectorCfg &cfg = {});
+
+/** Convenience: true iff @p exec is free of races. */
+bool isRaceFree(const Execution &exec, const RaceDetectorCfg &cfg = {});
+
+} // namespace wo
+
+#endif // WO_HB_RACE_HH

@@ -1,0 +1,41 @@
+#include "vector_clock.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+void
+VectorClock::join(const VectorClock &other)
+{
+    wo_assert(c_.size() == other.c_.size(), "joining clocks of unequal size");
+    for (std::size_t i = 0; i < c_.size(); ++i)
+        c_[i] = std::max(c_[i], other.c_[i]);
+}
+
+bool
+VectorClock::leq(const VectorClock &other) const
+{
+    wo_assert(c_.size() == other.c_.size(),
+              "comparing clocks of unequal size");
+    for (std::size_t i = 0; i < c_.size(); ++i)
+        if (c_[i] > other.c_[i])
+            return false;
+    return true;
+}
+
+std::string
+VectorClock::toString() const
+{
+    std::string out = "<";
+    for (std::size_t i = 0; i < c_.size(); ++i) {
+        if (i)
+            out += ",";
+        out += strprintf("%u", c_[i]);
+    }
+    out += ">";
+    return out;
+}
+
+} // namespace wo

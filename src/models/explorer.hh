@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Exhaustive state-space exploration over any abstract operational model.
+ *
+ * The explorer walks the full reachable state graph of a model (visited-set
+ * pruned, so spin loops and other cycles terminate) and collects the set of
+ * observable Outcomes of final states.  The outcome *set* is the object the
+ * new definition of weak ordering talks about: hardware "appears
+ * sequentially consistent" to a program exactly when its outcome set is a
+ * subset of the SC machine's outcome set for that program.
+ *
+ * Model concept:
+ *     struct State;                         // copyable machine state
+ *     State initial() const;
+ *     bool isFinal(const State&) const;     // halted and quiescent
+ *     std::vector<State> successors(const State&) const;
+ *     Outcome outcome(const State&) const;  // defined for final states
+ *     std::string encode(const State&) const; // injective
+ *     static const char *name();
+ */
+
+#ifndef WO_MODELS_EXPLORER_HH
+#define WO_MODELS_EXPLORER_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "execution/execution.hh"
+
+namespace wo {
+
+/** Exploration limits. */
+struct ExploreCfg
+{
+    /** Abort after visiting this many states (0 = unlimited). */
+    std::uint64_t max_states = 5'000'000;
+};
+
+/** What exploration found. */
+struct ExploreResult
+{
+    std::set<Outcome> outcomes;   //!< outcomes of all reachable final states
+    std::uint64_t states = 0;     //!< states visited
+    bool truncated = false;       //!< state budget hit: outcomes incomplete
+    bool stuck = false;           //!< some non-final state had no successors
+
+    /** True iff every outcome also appears in @p reference. */
+    bool
+    subsetOf(const ExploreResult &reference) const
+    {
+        for (const auto &o : outcomes)
+            if (!reference.outcomes.count(o))
+                return false;
+        return true;
+    }
+
+    /** Outcomes in this result but not in @p reference. */
+    std::set<Outcome>
+    minus(const ExploreResult &reference) const
+    {
+        std::set<Outcome> extra;
+        for (const auto &o : outcomes)
+            if (!reference.outcomes.count(o))
+                extra.insert(o);
+        return extra;
+    }
+};
+
+/**
+ * Search for a shortest transition chain from the initial state to a
+ * final state whose outcome equals @p target (BFS with parent pointers).
+ * Returns the state chain, initial first; empty if unreachable within the
+ * budget.  Use Model::dump to render the chain -- this is the "why is
+ * this outcome possible" explanation a litmus investigation wants.
+ */
+template <typename Model>
+std::vector<typename Model::State>
+witnessChain(const Model &model, const Outcome &target,
+             const ExploreCfg &cfg = {})
+{
+    struct Node
+    {
+        typename Model::State state;
+        std::size_t parent; // index into nodes; SIZE_MAX for the root
+    };
+    std::vector<Node> nodes;
+    std::unordered_set<std::string> visited;
+    std::deque<std::size_t> frontier;
+
+    auto push = [&](typename Model::State s, std::size_t parent) {
+        std::string key = model.encode(s);
+        if (!visited.insert(std::move(key)).second)
+            return;
+        nodes.push_back(Node{std::move(s), parent});
+        frontier.push_back(nodes.size() - 1);
+    };
+
+    push(model.initial(), static_cast<std::size_t>(-1));
+    std::uint64_t seen = 0;
+    while (!frontier.empty()) {
+        if (cfg.max_states && ++seen > cfg.max_states)
+            break;
+        const std::size_t at = frontier.front();
+        frontier.pop_front();
+        if (model.isFinal(nodes[at].state) &&
+            model.outcome(nodes[at].state) == target) {
+            std::vector<typename Model::State> chain;
+            for (std::size_t n = at; n != static_cast<std::size_t>(-1);
+                 n = nodes[n].parent)
+                chain.push_back(nodes[n].state);
+            std::reverse(chain.begin(), chain.end());
+            return chain;
+        }
+        for (auto &succ : model.successors(nodes[at].state))
+            push(std::move(succ), at);
+    }
+    return {};
+}
+
+/** Exhaustively explore @p model and collect final-state outcomes. */
+template <typename Model>
+ExploreResult
+exploreOutcomes(const Model &model, const ExploreCfg &cfg = {})
+{
+    ExploreResult result;
+    std::unordered_set<std::string> visited;
+    std::deque<typename Model::State> frontier;
+
+    auto push = [&](typename Model::State s) {
+        std::string key = model.encode(s);
+        if (visited.insert(std::move(key)).second)
+            frontier.push_back(std::move(s));
+    };
+
+    push(model.initial());
+    while (!frontier.empty()) {
+        if (cfg.max_states && result.states >= cfg.max_states) {
+            result.truncated = true;
+            warn("%s: exploration truncated at %llu states", Model::name(),
+                 static_cast<unsigned long long>(result.states));
+            break;
+        }
+        typename Model::State s = std::move(frontier.front());
+        frontier.pop_front();
+        ++result.states;
+
+        if (model.isFinal(s)) {
+            result.outcomes.insert(model.outcome(s));
+            continue;
+        }
+        auto succs = model.successors(s);
+        if (succs.empty()) {
+            // A non-final state with nothing enabled: the machine is stuck
+            // (e.g. a deadlock in a blocking implementation model).
+            result.stuck = true;
+            continue;
+        }
+        for (auto &n : succs)
+            push(std::move(n));
+    }
+    return result;
+}
+
+} // namespace wo
+
+#endif // WO_MODELS_EXPLORER_HH

@@ -1,0 +1,175 @@
+#include "network_model.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+NetworkReorderModel::NetworkReorderModel(const Program &prog,
+                                         std::size_t max_flights)
+    : prog_(prog), max_flights_(max_flights)
+{
+    wo_assert(max_flights_ > 0, "need at least one in-flight slot");
+}
+
+NetworkReorderModel::State
+NetworkReorderModel::initial() const
+{
+    State s;
+    s.threads.resize(prog_.numThreads());
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        runLocal(prog_.thread(p), s.threads[p]);
+    s.mem = prog_.initialMemory();
+    s.flights.resize(prog_.numThreads());
+    return s;
+}
+
+bool
+NetworkReorderModel::isFinal(const State &s) const
+{
+    for (const auto &t : s.threads)
+        if (!t.halted)
+            return false;
+    for (const auto &f : s.flights)
+        if (!f.empty())
+            return false;
+    return true;
+}
+
+namespace {
+
+bool
+hasFlightTo(const std::vector<NetworkReorderModel::Flight> &flights,
+            Addr addr)
+{
+    for (const auto &f : flights)
+        if (f.addr == addr)
+            return true;
+    return false;
+}
+
+} // namespace
+
+std::vector<NetworkReorderModel::State>
+NetworkReorderModel::successors(const State &s) const
+{
+    std::vector<State> out;
+
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        const ThreadCtx &t = s.threads[p];
+        if (t.halted)
+            continue;
+        const Instruction *i = currentAccess(prog_.thread(p), t);
+        switch (i->op) {
+          case Opcode::load_data: {
+            // The read's arrival at its module is instantaneous, so it may
+            // overtake older in-flight writes to other modules; it may not
+            // overtake the processor's own write to the same location.
+            if (hasFlightTo(s.flights[p], i->addr))
+                break;
+            State next = s;
+            completeAccess(prog_.thread(p), next.threads[p],
+                           s.mem[i->addr]);
+            out.push_back(std::move(next));
+            break;
+          }
+          case Opcode::store_data: {
+            if (s.flights[p].size() >= max_flights_)
+                break;
+            State next = s;
+            next.flights[p].push_back(Flight{i->addr, storeValue(*i, t)});
+            completeAccess(prog_.thread(p), next.threads[p], 0);
+            out.push_back(std::move(next));
+            break;
+          }
+          case Opcode::sync_load:
+          case Opcode::sync_store:
+          case Opcode::test_and_set: {
+            if (!s.flights[p].empty())
+                break; // wait for every in-flight write to arrive
+            State next = s;
+            const Value old = next.mem[i->addr];
+            if (i->writesMemory())
+                next.mem[i->addr] = storeValue(*i, t);
+            completeAccess(prog_.thread(p), next.threads[p], old);
+            out.push_back(std::move(next));
+            break;
+          }
+          default:
+            wo_panic("unexpected opcode at access point: %s",
+                     opcodeName(i->op));
+        }
+    }
+
+    // Arrival steps: any in-flight write whose processor has no older
+    // in-flight write to the same location may reach memory.
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        const auto &fl = s.flights[p];
+        for (std::size_t k = 0; k < fl.size(); ++k) {
+            bool oldest_to_addr = true;
+            for (std::size_t j = 0; j < k; ++j) {
+                if (fl[j].addr == fl[k].addr) {
+                    oldest_to_addr = false;
+                    break;
+                }
+            }
+            if (!oldest_to_addr)
+                continue;
+            State next = s;
+            Flight f = next.flights[p][k];
+            next.flights[p].erase(next.flights[p].begin() +
+                                  static_cast<std::ptrdiff_t>(k));
+            next.mem[f.addr] = f.value;
+            out.push_back(std::move(next));
+        }
+    }
+    return out;
+}
+
+Outcome
+NetworkReorderModel::outcome(const State &s) const
+{
+    Outcome o;
+    for (const auto &t : s.threads)
+        o.regs.emplace_back(t.regs.begin(), t.regs.end());
+    o.memory = s.mem;
+    return o;
+}
+
+std::string
+NetworkReorderModel::encode(const State &s) const
+{
+    StateEnc enc;
+    for (const auto &t : s.threads)
+        enc.putThread(t);
+    enc.sep();
+    for (Value v : s.mem)
+        enc.put(v);
+    enc.sep();
+    for (const auto &fl : s.flights) {
+        for (const auto &f : fl) {
+            enc.put(f.addr);
+            enc.put(f.value);
+        }
+        enc.sep();
+    }
+    return enc.take();
+}
+
+
+std::string
+NetworkReorderModel::dump(const State &s) const
+{
+    std::string out = dumpThreadsAndMem(prog_, s.threads, s.mem);
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        if (s.flights[p].empty())
+            continue;
+        out += strprintf("  P%u in-flight:", p);
+        for (const auto &f : s.flights[p])
+            out += strprintf(" [%u]<-%lld", f.addr,
+                             static_cast<long long>(f.value));
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace wo

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 1, configuration 2: a machine whose processors issue accesses in
+ * program order into a general (multi-path) interconnection network, so
+ * accesses may reach the memory modules in a different order [Lam79].
+ *
+ * Writes travel through the network: a write is "in flight" from issue
+ * until its (nondeterministically scheduled) arrival at memory.  In-flight
+ * writes of one processor to the *same* location arrive in issue order
+ * (one path per module), but writes to different locations may be passed.
+ * A read is modelled as arriving at its module instantly -- which lets it
+ * arrive before an older in-flight write to a different module, the exact
+ * reordering of Lamport's example -- except that a read may not pass an
+ * in-flight write of its own processor to the same location.
+ *
+ * Synchronization operations wait for all of the processor's in-flight
+ * writes to arrive, then act atomically (strongly ordered).
+ */
+
+#ifndef WO_MODELS_NETWORK_MODEL_HH
+#define WO_MODELS_NETWORK_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "execution/execution.hh"
+#include "models/state_enc.hh"
+#include "models/thread_ctx.hh"
+#include "program/program.hh"
+
+namespace wo {
+
+/** General-interconnect machine without caches. */
+class NetworkReorderModel
+{
+  public:
+    /** One write travelling through the network. */
+    struct Flight
+    {
+        Addr addr;
+        Value value;
+        bool operator==(const Flight &other) const = default;
+    };
+
+    /** Machine state. */
+    struct State
+    {
+        std::vector<ThreadCtx> threads;
+        std::vector<Value> mem;
+        std::vector<std::vector<Flight>> flights; // per processor, in order
+    };
+
+    /**
+     * @param prog       the program (must outlive the model)
+     * @param max_flights in-flight writes allowed per processor
+     */
+    explicit NetworkReorderModel(const Program &prog,
+                                 std::size_t max_flights = 4);
+
+    static const char *name() { return "general-network"; }
+
+    State initial() const;
+    bool isFinal(const State &s) const;
+    std::vector<State> successors(const State &s) const;
+    Outcome outcome(const State &s) const;
+    std::string encode(const State &s) const;
+
+    /** Human-readable state rendering (for witness chains/debugging). */
+    std::string dump(const State &s) const;
+
+  private:
+    const Program &prog_;
+    std::size_t max_flights_;
+};
+
+} // namespace wo
+
+#endif // WO_MODELS_NETWORK_MODEL_HH

@@ -1,0 +1,92 @@
+#include "sc_model.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+ScModel::ScModel(const Program &prog) : prog_(prog) {}
+
+ScModel::State
+ScModel::initial() const
+{
+    State s;
+    s.threads.resize(prog_.numThreads());
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        runLocal(prog_.thread(p), s.threads[p]);
+    s.mem = prog_.initialMemory();
+    return s;
+}
+
+bool
+ScModel::isFinal(const State &s) const
+{
+    for (const auto &t : s.threads)
+        if (!t.halted)
+            return false;
+    return true;
+}
+
+bool
+ScModel::step(State &s, ProcId p, Execution *trace) const
+{
+    ThreadCtx &t = s.threads[p];
+    if (t.halted)
+        return false;
+    const Instruction *i = currentAccess(prog_.thread(p), t);
+    const Value old = s.mem[i->addr];
+    Value written = 0;
+    if (i->writesMemory()) {
+        written = storeValue(*i, t);
+        s.mem[i->addr] = written;
+    }
+    if (trace)
+        trace->append(p, i->addr, accessKindOf(i->op),
+                      i->readsMemory() ? old : 0, written);
+    completeAccess(prog_.thread(p), t, old);
+    return true;
+}
+
+std::vector<ScModel::State>
+ScModel::successors(const State &s) const
+{
+    std::vector<State> out;
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        if (s.threads[p].halted)
+            continue;
+        State next = s;
+        step(next, p);
+        out.push_back(std::move(next));
+    }
+    return out;
+}
+
+Outcome
+ScModel::outcome(const State &s) const
+{
+    Outcome o;
+    o.regs.reserve(s.threads.size());
+    for (const auto &t : s.threads)
+        o.regs.emplace_back(t.regs.begin(), t.regs.end());
+    o.memory = s.mem;
+    return o;
+}
+
+std::string
+ScModel::dump(const State &s) const
+{
+    return dumpThreadsAndMem(prog_, s.threads, s.mem);
+}
+
+std::string
+ScModel::encode(const State &s) const
+{
+    StateEnc enc;
+    for (const auto &t : s.threads)
+        enc.putThread(t);
+    enc.sep();
+    for (Value v : s.mem)
+        enc.put(v);
+    return enc.take();
+}
+
+} // namespace wo

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The idealized architecture of the paper's Section 4: every memory access
+ * executes atomically and in program order.  This model plays two roles:
+ * it produces the reference outcome set that defines "appears sequentially
+ * consistent", and its executions are the idealized executions over which
+ * DRF0's happens-before condition is evaluated.
+ */
+
+#ifndef WO_MODELS_SC_MODEL_HH
+#define WO_MODELS_SC_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "execution/execution.hh"
+#include "models/state_enc.hh"
+#include "models/thread_ctx.hh"
+#include "program/program.hh"
+
+namespace wo {
+
+/** The sequentially consistent reference machine. */
+class ScModel
+{
+  public:
+    /** A machine state: thread contexts plus the single atomic memory. */
+    struct State
+    {
+        std::vector<ThreadCtx> threads;
+        std::vector<Value> mem;
+    };
+
+    /** Bind the model to @p prog (which must outlive the model). */
+    explicit ScModel(const Program &prog);
+
+    /** Model name for reports. */
+    static const char *name() { return "SC"; }
+
+    /** The initial state (threads advanced to their first access). */
+    State initial() const;
+
+    /** All threads halted (memory is always quiescent here). */
+    bool isFinal(const State &s) const;
+
+    /** Every state reachable in one visible step. */
+    std::vector<State> successors(const State &s) const;
+
+    /** The observable result of a final state. */
+    Outcome outcome(const State &s) const;
+
+    /** Injective byte encoding for the visited set. */
+    std::string encode(const State &s) const;
+
+    /** Human-readable state rendering (for witness chains/debugging). */
+    std::string dump(const State &s) const;
+
+    /** The bound program. */
+    const Program &program() const { return prog_; }
+
+    /**
+     * Execute the access thread @p p currently sits at, atomically, in
+     * place, and append the resulting dynamic operation to @p trace when
+     * non-null.  Exposed so the DRF0 program checker can drive the
+     * idealized machine path-by-path.
+     * @return false if thread p is halted (no step taken)
+     */
+    bool step(State &s, ProcId p, Execution *trace = nullptr) const;
+
+  private:
+    const Program &prog_;
+};
+
+} // namespace wo
+
+#endif // WO_MODELS_SC_MODEL_HH

@@ -1,0 +1,186 @@
+#include "stale_cache_model.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+StaleCacheModel::StaleCacheModel(const Program &prog, std::size_t max_inbox)
+    : prog_(prog), max_inbox_(max_inbox)
+{
+    wo_assert(max_inbox_ > 0, "need at least one inbox slot");
+}
+
+StaleCacheModel::State
+StaleCacheModel::initial() const
+{
+    State s;
+    s.threads.resize(prog_.numThreads());
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        runLocal(prog_.thread(p), s.threads[p]);
+    s.mem = prog_.initialMemory();
+    s.copy.assign(prog_.numThreads(), s.mem);
+    s.inbox.resize(prog_.numThreads());
+    return s;
+}
+
+bool
+StaleCacheModel::isFinal(const State &s) const
+{
+    for (const auto &t : s.threads)
+        if (!t.halted)
+            return false;
+    for (const auto &q : s.inbox)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+namespace {
+
+bool
+allInboxesEmpty(const StaleCacheModel::State &s)
+{
+    for (const auto &q : s.inbox)
+        if (!q.empty())
+            return false;
+    return true;
+}
+
+bool
+inboxesHaveRoom(const StaleCacheModel::State &s, ProcId writer,
+                std::size_t cap)
+{
+    for (ProcId q = 0; q < s.inbox.size(); ++q)
+        if (q != writer && s.inbox[q].size() >= cap)
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::vector<StaleCacheModel::State>
+StaleCacheModel::successors(const State &s) const
+{
+    std::vector<State> out;
+
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        const ThreadCtx &t = s.threads[p];
+        if (t.halted)
+            continue;
+        const Instruction *i = currentAccess(prog_.thread(p), t);
+        switch (i->op) {
+          case Opcode::load_data: {
+            // Reads hit the local copy: no waiting, possibly stale.
+            State next = s;
+            completeAccess(prog_.thread(p), next.threads[p],
+                           s.copy[p][i->addr]);
+            out.push_back(std::move(next));
+            break;
+          }
+          case Opcode::store_data: {
+            if (!inboxesHaveRoom(s, p, max_inbox_))
+                break;
+            State next = s;
+            const Value v = storeValue(*i, t);
+            next.mem[i->addr] = v;     // commit (write serialization point)
+            next.copy[p][i->addr] = v; // own copy updated immediately
+            for (ProcId q = 0; q < prog_.numThreads(); ++q)
+                if (q != p)
+                    next.inbox[q].push_back(Update{i->addr, v});
+            completeAccess(prog_.thread(p), next.threads[p], 0);
+            out.push_back(std::move(next));
+            break;
+          }
+          case Opcode::sync_load:
+          case Opcode::sync_store:
+          case Opcode::test_and_set: {
+            // Heavyweight synchronization: a full system barrier.
+            if (!allInboxesEmpty(s))
+                break;
+            State next = s;
+            const Value old = next.mem[i->addr];
+            if (i->writesMemory()) {
+                const Value v = storeValue(*i, t);
+                next.mem[i->addr] = v;
+                for (ProcId q = 0; q < prog_.numThreads(); ++q)
+                    next.copy[q][i->addr] = v;
+            }
+            completeAccess(prog_.thread(p), next.threads[p], old);
+            out.push_back(std::move(next));
+            break;
+          }
+          default:
+            wo_panic("unexpected opcode at access point: %s",
+                     opcodeName(i->op));
+        }
+    }
+
+    // Delivery steps: pop the front of any non-empty inbox.
+    for (ProcId q = 0; q < prog_.numThreads(); ++q) {
+        if (s.inbox[q].empty())
+            continue;
+        State next = s;
+        Update u = next.inbox[q].front();
+        next.inbox[q].erase(next.inbox[q].begin());
+        next.copy[q][u.addr] = u.value;
+        out.push_back(std::move(next));
+    }
+    return out;
+}
+
+Outcome
+StaleCacheModel::outcome(const State &s) const
+{
+    Outcome o;
+    for (const auto &t : s.threads)
+        o.regs.emplace_back(t.regs.begin(), t.regs.end());
+    o.memory = s.mem;
+    return o;
+}
+
+std::string
+StaleCacheModel::encode(const State &s) const
+{
+    StateEnc enc;
+    for (const auto &t : s.threads)
+        enc.putThread(t);
+    enc.sep();
+    for (Value v : s.mem)
+        enc.put(v);
+    enc.sep();
+    for (const auto &c : s.copy)
+        for (Value v : c)
+            enc.put(v);
+    enc.sep();
+    for (const auto &q : s.inbox) {
+        for (const auto &u : q) {
+            enc.put(u.addr);
+            enc.put(u.value);
+        }
+        enc.sep();
+    }
+    return enc.take();
+}
+
+
+std::string
+StaleCacheModel::dump(const State &s) const
+{
+    std::string out = dumpThreadsAndMem(prog_, s.threads, s.mem);
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        out += strprintf("  P%u copies:", p);
+        for (std::size_t a = 0; a < s.copy[p].size(); ++a)
+            out += strprintf(" [%zu]=%lld", a,
+                             static_cast<long long>(s.copy[p][a]));
+        if (!s.inbox[p].empty()) {
+            out += "  inbox:";
+            for (const auto &u : s.inbox[p])
+                out += strprintf(" [%u]<-%lld", u.addr,
+                                 static_cast<long long>(u.value));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace wo

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 1, configurations 3 and 4: cache-based machines whose invalidation
+ * (here: update) traffic is not atomic.  Every processor holds a copy of
+ * every location.  A write commits to the writer's copy and to memory
+ * immediately, and an update message is enqueued, in commit order, towards
+ * every other processor; until that message is delivered the other
+ * processor keeps reading its stale copy.  This realizes exactly the
+ * figure's scenario: "both processors initially have X and Y in their
+ * caches, and a processor issues its read before its write is propagated
+ * to the cache of the other processor".
+ *
+ * Each receiving processor consumes its incoming updates in commit order
+ * (one queue per receiver), so per-location write serialization is
+ * preserved -- the machine is "coherent but not sequentially consistent".
+ *
+ * Synchronization operations are modelled as heavyweight barriers: they
+ * require every update queue in the system to be empty and then act on all
+ * copies atomically.  Figure 1 uses none.
+ */
+
+#ifndef WO_MODELS_STALE_CACHE_MODEL_HH
+#define WO_MODELS_STALE_CACHE_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "execution/execution.hh"
+#include "models/state_enc.hh"
+#include "models/thread_ctx.hh"
+#include "program/program.hh"
+
+namespace wo {
+
+/** Cache-based machine with delayed update propagation. */
+class StaleCacheModel
+{
+  public:
+    /** An update travelling towards one processor's cache. */
+    struct Update
+    {
+        Addr addr;
+        Value value;
+        bool operator==(const Update &other) const = default;
+    };
+
+    /** Machine state. */
+    struct State
+    {
+        std::vector<ThreadCtx> threads;
+        std::vector<Value> mem;                  // commit-order memory image
+        std::vector<std::vector<Value>> copy;    // copy[proc][addr]
+        std::vector<std::vector<Update>> inbox;  // per receiving processor
+    };
+
+    /**
+     * @param prog       the program (must outlive the model)
+     * @param max_inbox  pending updates per receiver before writers stall
+     */
+    explicit StaleCacheModel(const Program &prog, std::size_t max_inbox = 4);
+
+    static const char *name() { return "caches+delayed-inval"; }
+
+    State initial() const;
+    bool isFinal(const State &s) const;
+    std::vector<State> successors(const State &s) const;
+    Outcome outcome(const State &s) const;
+    std::string encode(const State &s) const;
+
+    /** Human-readable state rendering (for witness chains/debugging). */
+    std::string dump(const State &s) const;
+
+  private:
+    const Program &prog_;
+    std::size_t max_inbox_;
+};
+
+} // namespace wo
+
+#endif // WO_MODELS_STALE_CACHE_MODEL_HH

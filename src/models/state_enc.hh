@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Byte-string encoding of model states for visited-set hashing.  Encoders
+ * must be injective over the reachable state space of their model; each
+ * model documents what it serializes.
+ */
+
+#ifndef WO_MODELS_STATE_ENC_HH
+#define WO_MODELS_STATE_ENC_HH
+
+#include <string>
+
+#include "models/thread_ctx.hh"
+
+namespace wo {
+
+/** Append-only byte encoder. */
+class StateEnc
+{
+  public:
+    /** Append any trivially copyable scalar. */
+    template <typename T>
+    void
+    put(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        buf_.append(reinterpret_cast<const char *>(&v), sizeof(v));
+    }
+
+    /** Append a thread context. */
+    void
+    putThread(const ThreadCtx &t)
+    {
+        put(t.pc);
+        put(t.halted);
+        for (Value v : t.regs)
+            put(v);
+    }
+
+    /** A separator to keep variable-length sections unambiguous. */
+    void
+    sep()
+    {
+        buf_.push_back('\x1f');
+    }
+
+    /** The encoded bytes. */
+    std::string take() { return std::move(buf_); }
+
+  private:
+    std::string buf_;
+};
+
+} // namespace wo
+
+#endif // WO_MODELS_STATE_ENC_HH

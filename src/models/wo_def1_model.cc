@@ -1,0 +1,146 @@
+#include "wo_def1_model.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+WoDef1Model::WoDef1Model(const Program &prog, std::size_t max_pool)
+    : prog_(prog), max_pool_(max_pool)
+{
+    wo_assert(max_pool_ > 0, "need at least one pool slot");
+}
+
+WoDef1Model::State
+WoDef1Model::initial() const
+{
+    State s;
+    s.threads.resize(prog_.numThreads());
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        runLocal(prog_.thread(p), s.threads[p]);
+    s.mem = prog_.initialMemory();
+    s.pools.resize(prog_.numThreads());
+    return s;
+}
+
+bool
+WoDef1Model::isFinal(const State &s) const
+{
+    for (const auto &t : s.threads)
+        if (!t.halted)
+            return false;
+    for (const auto &pool : s.pools)
+        if (!pool.empty())
+            return false;
+    return true;
+}
+
+std::vector<WoDef1Model::State>
+WoDef1Model::successors(const State &s) const
+{
+    std::vector<State> out;
+
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        const ThreadCtx &t = s.threads[p];
+        if (t.halted)
+            continue;
+        const Instruction *i = currentAccess(prog_.thread(p), t);
+        switch (i->op) {
+          case Opcode::load_data: {
+            auto fwd = poolForward(s.pools[p], i->addr);
+            const Value v = fwd ? *fwd : s.mem[i->addr];
+            State next = s;
+            completeAccess(prog_.thread(p), next.threads[p], v);
+            out.push_back(std::move(next));
+            break;
+          }
+          case Opcode::store_data: {
+            if (s.pools[p].size() >= max_pool_)
+                break;
+            State next = s;
+            next.pools[p].push_back(
+                PendingWrite{i->addr, storeValue(*i, t)});
+            completeAccess(prog_.thread(p), next.threads[p], 0);
+            out.push_back(std::move(next));
+            break;
+          }
+          case Opcode::sync_load:
+          case Opcode::sync_store:
+          case Opcode::test_and_set: {
+            // Definition 1, condition 2: the issuing processor stalls here
+            // until all its previous data accesses are globally performed.
+            if (!s.pools[p].empty())
+                break;
+            State next = s;
+            const Value old = next.mem[i->addr];
+            if (i->writesMemory())
+                next.mem[i->addr] = storeValue(*i, t);
+            completeAccess(prog_.thread(p), next.threads[p], old);
+            out.push_back(std::move(next));
+            break;
+          }
+          default:
+            wo_panic("unexpected opcode at access point: %s",
+                     opcodeName(i->op));
+        }
+    }
+
+    // Drain steps.
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        const auto &pool = s.pools[p];
+        for (std::size_t k = 0; k < pool.size(); ++k) {
+            if (!poolMayDrain(pool, k))
+                continue;
+            State next = s;
+            PendingWrite w = next.pools[p][k];
+            next.pools[p].erase(next.pools[p].begin() +
+                                static_cast<std::ptrdiff_t>(k));
+            next.mem[w.addr] = w.value;
+            out.push_back(std::move(next));
+        }
+    }
+    return out;
+}
+
+Outcome
+WoDef1Model::outcome(const State &s) const
+{
+    Outcome o;
+    for (const auto &t : s.threads)
+        o.regs.emplace_back(t.regs.begin(), t.regs.end());
+    o.memory = s.mem;
+    return o;
+}
+
+std::string
+WoDef1Model::encode(const State &s) const
+{
+    StateEnc enc;
+    for (const auto &t : s.threads)
+        enc.putThread(t);
+    enc.sep();
+    for (Value v : s.mem)
+        enc.put(v);
+    enc.sep();
+    for (const auto &pool : s.pools)
+        encodePool(enc, pool);
+    return enc.take();
+}
+
+
+std::string
+WoDef1Model::dump(const State &s) const
+{
+    std::string out = dumpThreadsAndMem(prog_, s.threads, s.mem);
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        if (s.pools[p].empty())
+            continue;
+        out += strprintf("  P%u pending:", p);
+        for (const auto &w : s.pools[p])
+            out += strprintf(" [%u]<-%lld", w.addr,
+                             static_cast<long long>(w.value));
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace wo

@@ -1,0 +1,156 @@
+#include "write_buffer_model.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+WriteBufferModel::WriteBufferModel(const Program &prog, std::size_t capacity)
+    : prog_(prog), capacity_(capacity)
+{
+    wo_assert(capacity_ > 0, "write buffer needs capacity >= 1");
+}
+
+WriteBufferModel::State
+WriteBufferModel::initial() const
+{
+    State s;
+    s.threads.resize(prog_.numThreads());
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        runLocal(prog_.thread(p), s.threads[p]);
+    s.mem = prog_.initialMemory();
+    s.buffers.resize(prog_.numThreads());
+    return s;
+}
+
+bool
+WriteBufferModel::isFinal(const State &s) const
+{
+    for (const auto &t : s.threads)
+        if (!t.halted)
+            return false;
+    for (const auto &b : s.buffers)
+        if (!b.empty())
+            return false;
+    return true;
+}
+
+std::vector<WriteBufferModel::State>
+WriteBufferModel::successors(const State &s) const
+{
+    std::vector<State> out;
+
+    // Instruction steps.
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        const ThreadCtx &t = s.threads[p];
+        if (t.halted)
+            continue;
+        const Instruction *i = currentAccess(prog_.thread(p), t);
+        switch (i->op) {
+          case Opcode::load_data: {
+            // Forward from the youngest matching buffered store, else read
+            // memory directly -- passing any older buffered stores.
+            Value v = s.mem[i->addr];
+            const auto &buf = s.buffers[p];
+            for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+                if (it->addr == i->addr) {
+                    v = it->value;
+                    break;
+                }
+            }
+            State next = s;
+            completeAccess(prog_.thread(p), next.threads[p], v);
+            out.push_back(std::move(next));
+            break;
+          }
+          case Opcode::store_data: {
+            if (s.buffers[p].size() >= capacity_)
+                break; // buffer full: wait for a drain
+            State next = s;
+            next.buffers[p].push_back(
+                BufEntry{i->addr, storeValue(*i, t)});
+            completeAccess(prog_.thread(p), next.threads[p], 0);
+            out.push_back(std::move(next));
+            break;
+          }
+          case Opcode::sync_load:
+          case Opcode::sync_store:
+          case Opcode::test_and_set: {
+            // Strongly ordered synchronization: requires an empty buffer,
+            // then acts on memory atomically.
+            if (!s.buffers[p].empty())
+                break;
+            State next = s;
+            const Value old = next.mem[i->addr];
+            if (i->writesMemory())
+                next.mem[i->addr] = storeValue(*i, t);
+            completeAccess(prog_.thread(p), next.threads[p], old);
+            out.push_back(std::move(next));
+            break;
+          }
+          default:
+            wo_panic("unexpected opcode at access point: %s",
+                     opcodeName(i->op));
+        }
+    }
+
+    // Drain steps: pop the oldest entry of any non-empty buffer.
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        if (s.buffers[p].empty())
+            continue;
+        State next = s;
+        BufEntry e = next.buffers[p].front();
+        next.buffers[p].erase(next.buffers[p].begin());
+        next.mem[e.addr] = e.value;
+        out.push_back(std::move(next));
+    }
+    return out;
+}
+
+Outcome
+WriteBufferModel::outcome(const State &s) const
+{
+    Outcome o;
+    for (const auto &t : s.threads)
+        o.regs.emplace_back(t.regs.begin(), t.regs.end());
+    o.memory = s.mem;
+    return o;
+}
+
+std::string
+WriteBufferModel::encode(const State &s) const
+{
+    StateEnc enc;
+    for (const auto &t : s.threads)
+        enc.putThread(t);
+    enc.sep();
+    for (Value v : s.mem)
+        enc.put(v);
+    enc.sep();
+    for (const auto &buf : s.buffers) {
+        for (const auto &e : buf) {
+            enc.put(e.addr);
+            enc.put(e.value);
+        }
+        enc.sep();
+    }
+    return enc.take();
+}
+
+
+std::string
+WriteBufferModel::dump(const State &s) const
+{
+    std::string out = dumpThreadsAndMem(prog_, s.threads, s.mem);
+    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
+        if (s.buffers[p].empty())
+            continue;
+        out += strprintf("  P%u buffer:", p);
+        for (const auto &e : s.buffers[p])
+            out += strprintf(" [%u]<-%lld", e.addr,
+                             static_cast<long long>(e.value));
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace wo

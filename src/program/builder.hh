@@ -1,0 +1,136 @@
+/**
+ * @file
+ * A small fluent builder for parallel programs, with named labels resolved
+ * at build time.  Typical use:
+ *
+ *     ProgramBuilder b("dekker", 2);
+ *     auto &p0 = b.thread(0);
+ *     p0.store(X, 1).load(0, Y).halt();
+ *     ...
+ *     Program prog = b.build();
+ */
+
+#ifndef WO_PROGRAM_BUILDER_HH
+#define WO_PROGRAM_BUILDER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "program/program.hh"
+
+namespace wo {
+
+/** Builds the code of one thread; obtained from ProgramBuilder::thread. */
+class ThreadBuilder
+{
+  public:
+    /** r[dst] = M[a] (ordinary read). */
+    ThreadBuilder &load(RegId dst, Addr a);
+
+    /** M[a] = imm (ordinary write of an immediate). */
+    ThreadBuilder &store(Addr a, Value imm);
+
+    /** M[a] = r[src] (ordinary write of a register). */
+    ThreadBuilder &storeReg(Addr a, RegId src);
+
+    /** r[dst] = M[a] (read-only synchronization, "Test"). */
+    ThreadBuilder &syncLoad(RegId dst, Addr a);
+
+    /** M[a] = imm (write-only synchronization, "Unset"/"Set"). */
+    ThreadBuilder &syncStore(Addr a, Value imm);
+
+    /** r[dst] = M[a]; M[a] = 1 (read-write synchronization, atomic). */
+    ThreadBuilder &testAndSet(RegId dst, Addr a);
+
+    /** r[dst] = imm. */
+    ThreadBuilder &movi(RegId dst, Value imm);
+
+    /** r[dst] = r[src] + r[src2]. */
+    ThreadBuilder &add(RegId dst, RegId src, RegId src2);
+
+    /** r[dst] = r[src] + imm. */
+    ThreadBuilder &addi(RegId dst, RegId src, Value imm);
+
+    /** if (r[src] == imm) goto label. */
+    ThreadBuilder &beq(RegId src, Value imm, const std::string &label);
+
+    /** if (r[src] != imm) goto label. */
+    ThreadBuilder &bne(RegId src, Value imm, const std::string &label);
+
+    /** goto label. */
+    ThreadBuilder &jmp(const std::string &label);
+
+    /** Consume @p cycles of local work (a no-op in untimed models). */
+    ThreadBuilder &work(Value cycles);
+
+    /** Define @p label at the current position. */
+    ThreadBuilder &label(const std::string &label);
+
+    /** End the thread. */
+    ThreadBuilder &halt();
+
+    /**
+     * Convenience: a Test-and-TestAndSet spin-lock acquire on @p lock using
+     * @p scratch as the scratch register (Section 6's spinning idiom).
+     */
+    ThreadBuilder &acquire(Addr lock, RegId scratch = num_regs - 1);
+
+    /**
+     * Convenience: a pure TestAndSet spin (no read-only test), the idiom
+     * that the base implementation serializes.
+     */
+    ThreadBuilder &acquireTasOnly(Addr lock, RegId scratch = num_regs - 1);
+
+    /** Convenience: release a lock with a write-only sync store of 0. */
+    ThreadBuilder &release(Addr lock);
+
+  private:
+    friend class ProgramBuilder;
+
+    Instruction &emit(Instruction inst);
+
+    std::vector<Instruction> code_;
+    std::map<std::string, Pc> labels_;
+    // (instruction index, label) pairs awaiting resolution
+    std::vector<std::pair<Pc, std::string>> fixups_;
+    int next_auto_label_ = 0;
+};
+
+/** Builds a whole program. */
+class ProgramBuilder
+{
+  public:
+    /**
+     * @param name          report label
+     * @param num_threads   processor count
+     * @param num_locations shared-location count (grown on demand if 0)
+     * @param initial       initial value of all shared locations
+     */
+    ProgramBuilder(std::string name, ProcId num_threads,
+                   Addr num_locations = 0, Value initial = 0);
+
+    /** The builder for thread @p p. */
+    ThreadBuilder &thread(ProcId p);
+
+    /** Give location @p a a pretty name. */
+    ProgramBuilder &nameLocation(Addr a, std::string loc_name);
+
+    /** Give location @p a a non-default initial value. */
+    ProgramBuilder &initLocation(Addr a, Value v);
+
+    /** Resolve labels, validate and produce the immutable Program. */
+    Program build();
+
+  private:
+    std::string name_;
+    Addr num_locations_;
+    Value initial_;
+    std::vector<ThreadBuilder> threads_;
+    std::vector<std::pair<Addr, std::string>> loc_names_;
+    std::vector<std::pair<Addr, Value>> loc_inits_;
+};
+
+} // namespace wo
+
+#endif // WO_PROGRAM_BUILDER_HH

@@ -1,0 +1,88 @@
+#include "instruction.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+bool
+Instruction::readsMemory() const
+{
+    return op == Opcode::load_data || op == Opcode::sync_load ||
+           op == Opcode::test_and_set;
+}
+
+bool
+Instruction::writesMemory() const
+{
+    return op == Opcode::store_data || op == Opcode::sync_store ||
+           op == Opcode::test_and_set;
+}
+
+bool
+Instruction::isSync() const
+{
+    return op == Opcode::sync_load || op == Opcode::sync_store ||
+           op == Opcode::test_and_set;
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::load_data: return "LD";
+      case Opcode::store_data: return "ST";
+      case Opcode::sync_load: return "SYNC_LD";
+      case Opcode::sync_store: return "SYNC_ST";
+      case Opcode::test_and_set: return "TAS";
+      case Opcode::mov_imm: return "MOVI";
+      case Opcode::add: return "ADD";
+      case Opcode::add_imm: return "ADDI";
+      case Opcode::branch_eq: return "BEQ";
+      case Opcode::branch_ne: return "BNE";
+      case Opcode::jump: return "JMP";
+      case Opcode::delay: return "DELAY";
+      case Opcode::halt: return "HALT";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    switch (op) {
+      case Opcode::load_data:
+      case Opcode::sync_load:
+        return strprintf("%-7s r%u <- [%u]", opcodeName(op), dst, addr);
+      case Opcode::store_data:
+      case Opcode::sync_store:
+        if (use_imm)
+            return strprintf("%-7s [%u] <- %lld", opcodeName(op), addr,
+                             static_cast<long long>(imm));
+        return strprintf("%-7s [%u] <- r%u", opcodeName(op), addr, src);
+      case Opcode::test_and_set:
+        return strprintf("%-7s r%u <- [%u]", opcodeName(op), dst, addr);
+      case Opcode::mov_imm:
+        return strprintf("%-7s r%u <- %lld", opcodeName(op), dst,
+                         static_cast<long long>(imm));
+      case Opcode::add:
+        return strprintf("%-7s r%u <- r%u + r%u", opcodeName(op), dst, src,
+                         src2);
+      case Opcode::add_imm:
+        return strprintf("%-7s r%u <- r%u + %lld", opcodeName(op), dst, src,
+                         static_cast<long long>(imm));
+      case Opcode::branch_eq:
+      case Opcode::branch_ne:
+        return strprintf("%-7s r%u, %lld -> @%u", opcodeName(op), src,
+                         static_cast<long long>(imm), target);
+      case Opcode::jump:
+        return strprintf("%-7s -> @%u", opcodeName(op), target);
+      case Opcode::delay:
+        return strprintf("%-7s %lld", opcodeName(op),
+                         static_cast<long long>(imm));
+      case Opcode::halt:
+        return "HALT";
+    }
+    return "?";
+}
+
+} // namespace wo

@@ -1,0 +1,268 @@
+#include "litmus.hh"
+
+#include "common/logging.hh"
+#include "program/builder.hh"
+
+namespace wo {
+namespace litmus {
+
+Program
+fig1StoreBuffer()
+{
+    ProgramBuilder b("fig1-store-buffer", 2);
+    b.thread(0).store(loc_x, 1).load(0, loc_y).halt();
+    b.thread(1).store(loc_y, 1).load(0, loc_x).halt();
+    b.nameLocation(loc_x, "X").nameLocation(loc_y, "Y");
+    return b.build();
+}
+
+Program
+messagePassing()
+{
+    const Addr data = 0, flag = 1;
+    ProgramBuilder b("message-passing", 2);
+    b.thread(0).store(data, 1).store(flag, 1).halt();
+    b.thread(1).load(0, flag).load(1, data).halt();
+    b.nameLocation(data, "data").nameLocation(flag, "flag");
+    return b.build();
+}
+
+Program
+messagePassingSync()
+{
+    const Addr data = 0, flag = 1;
+    ProgramBuilder b("message-passing-sync", 2);
+    b.thread(0).store(data, 1).syncStore(flag, 1).halt();
+    b.thread(1)
+        .label("spin")
+        .syncLoad(0, flag)
+        .beq(0, 0, "spin")
+        .load(1, data)
+        .halt();
+    b.nameLocation(data, "data").nameLocation(flag, "flag");
+    return b.build();
+}
+
+Program
+coherenceCoRR()
+{
+    ProgramBuilder b("coherence-corr", 2);
+    b.thread(0).store(loc_x, 1).halt();
+    b.thread(1).load(0, loc_x).load(1, loc_x).halt();
+    b.nameLocation(loc_x, "x");
+    return b.build();
+}
+
+Program
+iriw()
+{
+    ProgramBuilder b("iriw", 4);
+    b.thread(0).store(loc_x, 1).halt();
+    b.thread(1).store(loc_y, 1).halt();
+    b.thread(2).load(0, loc_x).load(1, loc_y).halt();
+    b.thread(3).load(0, loc_y).load(1, loc_x).halt();
+    b.nameLocation(loc_x, "x").nameLocation(loc_y, "y");
+    return b.build();
+}
+
+Program
+loadBuffering()
+{
+    ProgramBuilder b("load-buffering", 2);
+    b.thread(0).load(0, loc_x).store(loc_y, 1).halt();
+    b.thread(1).load(1, loc_y).store(loc_x, 1).halt();
+    b.nameLocation(loc_x, "x").nameLocation(loc_y, "y");
+    return b.build();
+}
+
+Program
+wrc()
+{
+    ProgramBuilder b("wrc", 3);
+    b.thread(0).store(loc_x, 1).halt();
+    b.thread(1).load(0, loc_x).store(loc_y, 1).halt();
+    b.thread(2).load(1, loc_y).load(2, loc_x).halt();
+    b.nameLocation(loc_x, "x").nameLocation(loc_y, "y");
+    return b.build();
+}
+
+Program
+twoPlusTwoW()
+{
+    ProgramBuilder b("2+2w", 2);
+    b.thread(0).store(loc_x, 1).store(loc_y, 2).halt();
+    b.thread(1).store(loc_y, 1).store(loc_x, 2).halt();
+    b.nameLocation(loc_x, "x").nameLocation(loc_y, "y");
+    return b.build();
+}
+
+Program
+sShape()
+{
+    ProgramBuilder b("s-shape", 2);
+    b.thread(0).store(loc_x, 2).store(loc_y, 1).halt();
+    b.thread(1).load(0, loc_y).store(loc_x, 1).halt();
+    b.nameLocation(loc_x, "x").nameLocation(loc_y, "y");
+    return b.build();
+}
+
+Program
+coWW()
+{
+    ProgramBuilder b("coww", 1);
+    b.thread(0).store(loc_x, 1).store(loc_x, 2).halt();
+    b.nameLocation(loc_x, "x");
+    return b.build();
+}
+
+namespace {
+
+Program
+fig3Common(Value work_cycles, bool test_and_tas)
+{
+    const Addr x = 0, s = 1;
+    ProgramBuilder b(test_and_tas ? "fig3-test-and-tas" : "fig3", 2);
+    {
+        auto &p0 = b.thread(0);
+        p0.store(x, 1);
+        if (work_cycles > 0)
+            p0.work(work_cycles);
+        p0.release(s); // Unset(s)
+        if (work_cycles > 0)
+            p0.work(work_cycles);
+        p0.store(2, 1); // "more work": an independent data write
+        p0.halt();
+    }
+    {
+        auto &p1 = b.thread(1);
+        // s starts at 1 (P0 conceptually holds the lock), so the TAS spin
+        // succeeds only after P0's Unset commits.
+        if (test_and_tas)
+            p1.acquire(s);
+        else
+            p1.acquireTasOnly(s);
+        if (work_cycles > 0)
+            p1.work(work_cycles);
+        p1.load(0, x);
+        p1.halt();
+    }
+    b.nameLocation(x, "x").nameLocation(s, "s").nameLocation(2, "w");
+    b.initLocation(s, 1);
+    return b.build();
+}
+
+} // namespace
+
+Program
+fig3Scenario(Value work_cycles)
+{
+    return fig3Common(work_cycles, false);
+}
+
+Program
+fig3ScenarioTestAndTas(Value work_cycles)
+{
+    return fig3Common(work_cycles, true);
+}
+
+Program
+lockedCounter(ProcId procs, int iters, bool tas_only)
+{
+    const Addr lock = 0, count = 1;
+    ProgramBuilder b(strprintf("locked-counter-%ux%d", procs, iters), procs);
+    for (ProcId p = 0; p < procs; ++p) {
+        auto &t = b.thread(p);
+        t.movi(1, 0); // loop induction variable in r1
+        t.label("loop");
+        if (tas_only)
+            t.acquireTasOnly(lock);
+        else
+            t.acquire(lock);
+        t.load(0, count).addi(0, 0, 1).storeReg(count, 0);
+        t.release(lock);
+        t.addi(1, 1, 1);
+        t.bne(1, iters, "loop");
+        t.halt();
+    }
+    b.nameLocation(lock, "L").nameLocation(count, "c");
+    return b.build();
+}
+
+Program
+racyCounter(ProcId procs, int iters)
+{
+    const Addr count = 0;
+    ProgramBuilder b(strprintf("racy-counter-%ux%d", procs, iters), procs);
+    for (ProcId p = 0; p < procs; ++p) {
+        auto &t = b.thread(p);
+        t.movi(1, 0);
+        t.label("loop");
+        t.load(0, count).addi(0, 0, 1).storeReg(count, 0);
+        t.addi(1, 1, 1);
+        t.bne(1, iters, "loop");
+        t.halt();
+    }
+    b.nameLocation(count, "c");
+    return b.build();
+}
+
+Program
+barrier(ProcId procs)
+{
+    const Addr lock = 0, arrived = 1, go = 2, data = 3;
+    ProgramBuilder b(strprintf("barrier-%u", procs), procs);
+    for (ProcId p = 0; p < procs; ++p) {
+        auto &t = b.thread(p);
+        if (p == 0)
+            t.store(data, 42); // pre-barrier write all must observe
+        t.acquire(lock);
+        t.load(0, arrived).addi(0, 0, 1).storeReg(arrived, 0);
+        t.release(lock);
+        // Last arrival releases everyone.
+        t.bne(0, static_cast<Value>(procs), "wait");
+        t.syncStore(go, 1);
+        t.label("wait");
+        t.label("spin");
+        t.syncLoad(2, go);
+        t.beq(2, 0, "spin");
+        t.load(3, data); // must be 42 under any conforming implementation
+        t.halt();
+    }
+    b.nameLocation(lock, "L")
+        .nameLocation(arrived, "arrived")
+        .nameLocation(go, "go")
+        .nameLocation(data, "d");
+    return b.build();
+}
+
+Program
+pingPong(int rounds)
+{
+    // Flag passing: `turn` is a synchronization variable holding the id of
+    // the processor allowed to touch the mailbox.  Each processor spins on
+    // a read-only sync load of turn, mutates the box, and hands the turn
+    // over with a sync store -- a starvation-free protocol (the waiter's
+    // spin becomes local once it caches the line; the hand-over write
+    // takes the line exactly once per round).  Data-race-free: every box
+    // access is ordered through the turn hand-over chain.
+    const Addr box = 0, turn = 1;
+    ProgramBuilder b(strprintf("ping-pong-%d", rounds), 2);
+    for (ProcId p = 0; p < 2; ++p) {
+        auto &t = b.thread(p);
+        t.movi(1, 0); // rounds completed
+        t.label("round");
+        t.label("wait");
+        t.syncLoad(0, turn);
+        t.bne(0, p, "wait");
+        t.load(2, box).addi(2, 2, 1).storeReg(box, 2);
+        t.syncStore(turn, 1 - p);
+        t.addi(1, 1, 1);
+        t.bne(1, rounds, "round");
+        t.halt();
+    }
+    b.nameLocation(box, "box").nameLocation(turn, "turn");
+    return b.build();
+}
+
+} // namespace litmus
+} // namespace wo

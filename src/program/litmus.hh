@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Canned programs used throughout the tests and benches: the paper's
+ * Figure 1 and Figure 3 scenarios plus the classical litmus shapes
+ * (message passing, IRIW, coherence tests, lock-based critical sections,
+ * barriers) the discussion relies on.
+ *
+ * Each factory documents the sequentially consistent verdict that the
+ * checkers assert against.
+ */
+
+#ifndef WO_PROGRAM_LITMUS_HH
+#define WO_PROGRAM_LITMUS_HH
+
+#include "program/program.hh"
+
+namespace wo {
+namespace litmus {
+
+/** Shared-location numbering used by the simple two-variable tests. */
+inline constexpr Addr loc_x = 0;
+inline constexpr Addr loc_y = 1;
+
+/**
+ * The Figure 1 program ("store buffering" / Dekker's core):
+ *
+ *     P0: X = 1; r0 = Y        P1: Y = 1; r0 = X
+ *
+ * Sequential consistency forbids the outcome r0==0 on both processors
+ * ("both killed"); every one of the paper's four relaxed configurations
+ * allows it.
+ */
+Program fig1StoreBuffer();
+
+/**
+ * Message passing with ordinary accesses only:
+ *
+ *     P0: data = 1; flag = 1   P1: r0 = flag; r1 = data
+ *
+ * SC forbids (r0,r1) == (1,0).  This program does NOT obey DRF0 (data and
+ * flag accesses race), so weakly ordered hardware may produce (1,0).
+ */
+Program messagePassing();
+
+/**
+ * Message passing where the flag accesses are synchronization operations
+ * (write-only sync store / read-only sync load with a retry loop).  This
+ * program obeys DRF0; all weakly ordered implementations must make it
+ * appear SC, i.e. after the sync load observes 1, the data read returns 1.
+ */
+Program messagePassingSync();
+
+/**
+ * Coherence read-read test: P0: x = 1.  P1: r0 = x; r1 = x.
+ * Per-location write serialization (condition 2 of Section 5.1) forbids
+ * (r0,r1) == (1,0): once a processor has seen the new value it may not
+ * subsequently see the old one.
+ */
+Program coherenceCoRR();
+
+/**
+ * Independent reads of independent writes (4 processors):
+ *
+ *     P0: x = 1    P1: y = 1    P2: r0 = x; r1 = y    P3: r0 = y; r1 = x
+ *
+ * SC (atomic writes) forbids P2 seeing (1,0) while P3 sees (1,0) -- the two
+ * readers disagreeing on the order of the independent writes.
+ */
+Program iriw();
+
+/**
+ * Load buffering: P0: r0 = x; y = 1.   P1: r1 = y; x = 1.
+ * SC forbids (r0,r1) == (1,1).  Every machine in this repository performs
+ * reads at issue, so all of them forbid it too -- the row documents that
+ * the laboratory's weakness is write-side only.
+ */
+Program loadBuffering();
+
+/**
+ * Write-to-read causality (WRC):
+ *     P0: x = 1    P1: r0 = x; y = 1    P2: r1 = y; r2 = x
+ * SC forbids (1, 1, 0): if P1 saw x and P2 saw P1's y, P2 must see x.
+ */
+Program wrc();
+
+/**
+ * 2+2W: P0: x = 1; y = 2.   P1: y = 1; x = 2.
+ * SC forbids the final state x == 1 && y == 1 (each location's last write
+ * would have to be the other processor's FIRST write).  The pool-based
+ * weak machines allow it: pending writes drain in any cross-location
+ * order.
+ */
+Program twoPlusTwoW();
+
+/**
+ * S shape: P0: x = 2; y = 1.   P1: r0 = y; x = 1.
+ * SC forbids r0 == 1 with final x == 2.  The weak machines allow it: P0's
+ * write of x may drain after everything else.
+ */
+Program sShape();
+
+/**
+ * Coherence write-write: P0: x = 1; x = 2.  Final x must be 2 under
+ * per-location program order on every machine here.
+ */
+Program coWW();
+
+/**
+ * The Figure 3 scenario.  Location s is a lock initially held by P0
+ * (initial value of s is 1); x is data.
+ *
+ *     P0: W(x)=1; <work>; Unset(s); <work>
+ *     P1: while (TestAndSet(s) != 0) {}; <work>; r0 = x
+ *
+ * The program obeys DRF0, so every conforming implementation must let P1
+ * read x == 1 (r0 == 1).  The timed benches measure where P0 and P1 stall
+ * under the Definition-1 and the new Section-5.3 implementations.
+ *
+ * @param work_cycles  local-work delay inserted at each <work> point
+ */
+Program fig3Scenario(Value work_cycles = 0);
+
+/**
+ * Like fig3Scenario but P1 spins with Test-and-TestAndSet (a read-only
+ * sync load before the atomic), the idiom of Section 6's discussion.
+ */
+Program fig3ScenarioTestAndTas(Value work_cycles = 0);
+
+/**
+ * @p procs processors each perform @p iters lock-protected increments of a
+ * shared counter (Test-and-TestAndSet acquire).  Obeys DRF0.  Under any
+ * conforming implementation the final counter equals procs * iters.
+ *
+ * @param tas_only  spin with bare TestAndSet instead of Test-and-TAS
+ */
+Program lockedCounter(ProcId procs, int iters, bool tas_only = false);
+
+/**
+ * The same counter increments with no lock at all: a racy, non-DRF0
+ * program.  Used to show the implementations are genuinely weaker than SC.
+ */
+Program racyCounter(ProcId procs, int iters);
+
+/**
+ * A sense-reversing-free centralized barrier: every processor increments a
+ * lock-protected arrival counter; the last arrival sync-stores a release
+ * flag on which the others spin with read-only sync loads; afterwards each
+ * processor reads a data location written before the barrier by processor
+ * 0.  Obeys DRF0; all readers must observe the pre-barrier write.
+ */
+Program barrier(ProcId procs);
+
+/**
+ * Two processors handing a value back and forth through a lock-protected
+ * mailbox @p rounds times; ends with P1 holding the accumulated value.
+ * Obeys DRF0.  Exercises repeated cross-processor synchronization chains.
+ */
+Program pingPong(int rounds);
+
+} // namespace litmus
+} // namespace wo
+
+#endif // WO_PROGRAM_LITMUS_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Random program synthesis for property tests and benchmark sweeps.
+ *
+ * randomDrf0Program builds programs that obey DRF0 *by construction*: every
+ * shared region is protected by its own Test-and-Set lock, all data accesses
+ * to a region happen inside a critical section of that region's lock, and
+ * all remaining accesses go to processor-private locations.  Conflicting
+ * accesses are therefore always ordered by happens-before in every
+ * idealized execution.  The property tests then assert the paper's central
+ * theorem: such programs appear sequentially consistent on every conforming
+ * weakly ordered implementation.
+ *
+ * randomRacyProgram deliberately breaks the discipline, producing non-DRF0
+ * programs that expose the weakness of the relaxed machines.
+ */
+
+#ifndef WO_PROGRAM_WORKLOAD_HH
+#define WO_PROGRAM_WORKLOAD_HH
+
+#include <cstdint>
+
+#include "program/program.hh"
+
+namespace wo {
+
+/** Shape parameters for randomDrf0Program. */
+struct Drf0WorkloadCfg
+{
+    ProcId procs = 2;           //!< processor count
+    Addr regions = 1;           //!< lock-protected shared regions
+    Addr locs_per_region = 2;   //!< data locations per region
+    Addr private_locs = 1;      //!< private locations per processor
+    int sections = 2;           //!< critical sections per thread
+    int ops_per_section = 2;    //!< data accesses inside each section
+    int private_ops = 1;        //!< private accesses between sections
+    bool test_and_tas = true;   //!< spin idiom: Test-and-TAS vs bare TAS
+    Value work_cycles = 0;      //!< local work inserted between accesses
+    std::uint64_t seed = 1;     //!< RNG seed (same seed, same program)
+};
+
+/**
+ * Generate a lock-disciplined (hence DRF0-obeying) random program.
+ * The address map is: [0, regions) are locks, then region data, then
+ * per-processor private locations.
+ */
+Program randomDrf0Program(const Drf0WorkloadCfg &cfg);
+
+/** Shape parameters for randomRacyProgram. */
+struct RacyWorkloadCfg
+{
+    ProcId procs = 2;        //!< processor count
+    Addr locs = 2;           //!< shared locations, accessed with no locks
+    int ops_per_thread = 3;  //!< loads/stores per thread
+    std::uint64_t seed = 1;  //!< RNG seed
+};
+
+/**
+ * Generate an unsynchronized random program (straight-line loads/stores of
+ * distinct immediates).  Almost surely violates DRF0; used to demonstrate
+ * that the relaxed machines really produce non-SC results for such code.
+ */
+Program randomRacyProgram(const RacyWorkloadCfg &cfg);
+
+/**
+ * Generate a straight-line program mixing data accesses with @p sync_ratio
+ * percent synchronization accesses on dedicated sync locations.  Used by
+ * the timed-throughput sweeps (experiment E8), where exhaustive exploration
+ * is not needed and the access mix is the independent variable.
+ *
+ * @param procs        processor count
+ * @param data_locs    ordinary shared locations
+ * @param sync_locs    synchronization locations
+ * @param ops          memory accesses per thread
+ * @param sync_pct     percentage of accesses that are synchronization ops
+ * @param work_cycles  local work between consecutive accesses
+ * @param seed         RNG seed
+ */
+Program syntheticMix(ProcId procs, Addr data_locs, Addr sync_locs, int ops,
+                     int sync_pct, Value work_cycles, std::uint64_t seed);
+
+} // namespace wo
+
+#endif // WO_PROGRAM_WORKLOAD_HH

@@ -1,0 +1,141 @@
+#include "sc_checker.hh"
+
+#include <string>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace wo {
+
+namespace {
+
+/** Backtracking search context. */
+class Search
+{
+  public:
+    Search(const Execution &exec, const ScCheckerCfg &cfg)
+        : exec_(exec), cfg_(cfg), idx_(exec.numProcs(), 0),
+          mem_(exec.initialMemory())
+    {
+    }
+
+    bool
+    run(ScCheckResult &out)
+    {
+        bool ok = dfs(out);
+        out.states = states_;
+        return ok;
+    }
+
+    bool exhausted() const { return exhausted_; }
+
+  private:
+    /** Can the next op of processor @p p be appended to the order now? */
+    bool
+    enabled(ProcId p, const MemoryOp *&op) const
+    {
+        const auto &po = exec_.procOps(p);
+        if (idx_[p] >= po.size())
+            return false;
+        op = &exec_.op(po[idx_[p]]);
+        // A read (or the read half of an rmw) must see the current value.
+        if (op->isRead() && mem_[op->addr] != op->value_read)
+            return false;
+        return true;
+    }
+
+    /** Serialize the search state for memoization. */
+    std::string
+    key() const
+    {
+        std::string k;
+        k.reserve(idx_.size() * 4 + mem_.size() * 8);
+        for (auto i : idx_)
+            k.append(reinterpret_cast<const char *>(&i), sizeof(i));
+        for (auto v : mem_)
+            k.append(reinterpret_cast<const char *>(&v), sizeof(v));
+        return k;
+    }
+
+    bool
+    allDone() const
+    {
+        for (ProcId p = 0; p < exec_.numProcs(); ++p)
+            if (idx_[p] < exec_.procOps(p).size())
+                return false;
+        return true;
+    }
+
+    bool
+    dfs(ScCheckResult &out)
+    {
+        if (cfg_.max_states && states_ >= cfg_.max_states) {
+            exhausted_ = true;
+            return false;
+        }
+        ++states_;
+        if (allDone()) {
+            if (cfg_.expected_final && mem_ != *cfg_.expected_final)
+                return false;
+            return true;
+        }
+        // Memoize only failing states; the first success unwinds the stack.
+        std::string k = key();
+        if (failed_.count(k))
+            return false;
+
+        for (ProcId p = 0; p < exec_.numProcs(); ++p) {
+            const MemoryOp *op = nullptr;
+            if (!enabled(p, op))
+                continue;
+            const Value saved = mem_[op->addr];
+            if (op->isWrite())
+                mem_[op->addr] = op->value_written;
+            ++idx_[p];
+            out.witness.push_back(op->id);
+            if (dfs(out))
+                return true;
+            out.witness.pop_back();
+            --idx_[p];
+            mem_[op->addr] = saved;
+        }
+        failed_.insert(std::move(k));
+        return false;
+    }
+
+    const Execution &exec_;
+    const ScCheckerCfg &cfg_;
+    std::vector<std::size_t> idx_;
+    std::vector<Value> mem_;
+    std::unordered_set<std::string> failed_;
+    std::uint64_t states_ = 0;
+    bool exhausted_ = false;
+};
+
+} // namespace
+
+ScCheckResult
+checkSequentialConsistency(const Execution &exec, const ScCheckerCfg &cfg)
+{
+    ScCheckResult result;
+    // Cheap screen: reads of values nobody wrote can never be SC.
+    std::string why;
+    if (!exec.valuesPlausible(&why)) {
+        result.sc = false;
+        return result;
+    }
+    Search search(exec, cfg);
+    result.sc = search.run(result);
+    result.exhausted = search.exhausted();
+    if (!result.sc)
+        result.witness.clear();
+    return result;
+}
+
+bool
+isSequentiallyConsistent(const Execution &exec)
+{
+    return checkSequentialConsistency(exec).sc;
+}
+
+} // namespace wo

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sequential-consistency explainability: given the observable record of a
+ * run -- per-processor program-order operation sequences with the values
+ * their reads returned -- decide whether there exists a single total order
+ * of all operations that
+ *
+ *   (1) is consistent with every processor's program order, and
+ *   (2) has every read return the value of the most recent preceding write
+ *       to the same location (or the initial value when none precedes), and
+ *   (3) executes read-write synchronization operations atomically.
+ *
+ * This is exactly Lamport's definition as specialized in the paper's
+ * introduction, and the tool with which we verify hardware's side of the
+ * Definition-2 contract ("appears sequentially consistent").
+ *
+ * The problem is NP-hard in general; the checker is a memoized backtracking
+ * search over states (per-processor progress, current memory image), which
+ * is exact and fast for the execution sizes this laboratory produces.
+ */
+
+#ifndef WO_SC_SC_CHECKER_HH
+#define WO_SC_SC_CHECKER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "execution/execution.hh"
+
+namespace wo {
+
+/** Result of an SC-explainability query. */
+struct ScCheckResult
+{
+    bool sc = false;            //!< a witness total order exists
+    std::vector<OpId> witness;  //!< one witness order when sc
+    std::uint64_t states = 0;   //!< search states visited
+    bool exhausted = false;     //!< state budget hit (result unreliable)
+
+    explicit operator bool() const { return sc; }
+};
+
+/** Options for the SC checker. */
+struct ScCheckerCfg
+{
+    /**
+     * Additionally require the witness order to end with this final memory
+     * image (Lamport's "result" includes the final state of memory).
+     */
+    std::optional<std::vector<Value>> expected_final;
+
+    /** Search-state budget; 0 means unlimited. */
+    std::uint64_t max_states = 0;
+};
+
+/**
+ * Decide SC-explainability of @p exec.
+ */
+ScCheckResult checkSequentialConsistency(const Execution &exec,
+                                         const ScCheckerCfg &cfg = {});
+
+/**
+ * Convenience wrapper returning just the verdict.
+ */
+bool isSequentiallyConsistent(const Execution &exec);
+
+} // namespace wo
+
+#endif // WO_SC_SC_CHECKER_HH

@@ -1,0 +1,290 @@
+#include "cpu.hh"
+
+#include "common/logging.hh"
+#include "models/thread_ctx.hh" // accessKindOf
+
+namespace wo {
+
+Cpu::Cpu(ProcId id, const Program &prog, EventQueue &eq,
+         OrderingPolicy policy, Execution *exec, const CpuCfg &cfg)
+    : id_(id), prog_(prog), code_(prog.thread(id)), eq_(eq),
+      policy_(policy), exec_(exec), cfg_(cfg),
+      stats_(strprintf("cpu%u", id))
+{
+}
+
+int
+Cpu::countOutstanding() const
+{
+    int n = 0;
+    for (const auto &kv : pending_)
+        n += !kv.second.performed;
+    return n;
+}
+
+void
+Cpu::boot()
+{
+    wake(0);
+}
+
+void
+Cpu::wake(Tick delay)
+{
+    if (step_scheduled_ || halted_)
+        return;
+    step_scheduled_ = true;
+    eq_.schedule(delay, strprintf("cpu%u.step", id_), [this] {
+        step_scheduled_ = false;
+        step();
+    });
+}
+
+bool
+Cpu::anyOutstanding() const
+{
+    for (const auto &kv : pending_)
+        if (!kv.second.performed)
+            return true;
+    return false;
+}
+
+bool
+Cpu::canIssue(const Instruction &inst) const
+{
+    // Finite miss-handling resources gate every policy alike.
+    if (cfg_.max_outstanding > 0 &&
+        countOutstanding() >= cfg_.max_outstanding)
+        return false;
+    switch (policy_) {
+      case OrderingPolicy::sc:
+        return !anyOutstanding();
+      case OrderingPolicy::wo_def1:
+        // Definition 1, condition 2: a synchronization operation may not
+        // issue until every previous access is globally performed.
+        return inst.isSync() ? !anyOutstanding() : true;
+      case OrderingPolicy::wo_drf0:
+      case OrderingPolicy::wo_drf0_ro:
+        // The new implementation never stalls the issuing processor here.
+        return true;
+    }
+    return true;
+}
+
+bool
+Cpu::blocksUntilPerformed(const Instruction &inst) const
+{
+    switch (policy_) {
+      case OrderingPolicy::sc:
+        return true;
+      case OrderingPolicy::wo_def1:
+        // Definition 1, condition 3: nothing issues until a previous
+        // synchronization operation is globally performed.
+        return inst.isSync();
+      case OrderingPolicy::wo_drf0:
+      case OrderingPolicy::wo_drf0_ro:
+        return false;
+    }
+    return false;
+}
+
+bool
+Cpu::blocksUntilCommit(const Instruction &inst) const
+{
+    // Loads block for their value under every policy (in-order register
+    // use); synchronization blocks until commit under the new
+    // implementation ("no new accesses are generated until the line is
+    // procured in exclusive state and the operation performed on it").
+    if (inst.readsMemory())
+        return true;
+    if (inst.isSync())
+        return true;
+    return false;
+}
+
+void
+Cpu::step()
+{
+    if (halted_)
+        return;
+    if (blocked_)
+        return; // a callback will wake us
+    const Instruction &i = code_.at(pc_);
+    switch (i.op) {
+      case Opcode::mov_imm:
+        regs_[i.dst] = i.imm;
+        ++pc_;
+        wake(1);
+        return;
+      case Opcode::add:
+        regs_[i.dst] = regs_[i.src] + regs_[i.src2];
+        ++pc_;
+        wake(1);
+        return;
+      case Opcode::add_imm:
+        regs_[i.dst] = regs_[i.src] + i.imm;
+        ++pc_;
+        wake(1);
+        return;
+      case Opcode::branch_eq:
+        pc_ = (regs_[i.src] == i.imm) ? i.target : pc_ + 1;
+        wake(1);
+        return;
+      case Opcode::branch_ne:
+        pc_ = (regs_[i.src] != i.imm) ? i.target : pc_ + 1;
+        wake(1);
+        return;
+      case Opcode::jump:
+        pc_ = i.target;
+        wake(1);
+        return;
+      case Opcode::delay:
+        ++pc_;
+        stats_.counter("work_cycles").inc(static_cast<std::uint64_t>(i.imm));
+        wake(static_cast<Tick>(i.imm) + 1);
+        return;
+      case Opcode::halt:
+        halted_ = true;
+        finish_tick_ = eq_.now();
+        return;
+      default:
+        break; // a memory access, handled below
+    }
+
+    // Memory access.
+    if (!waiting_issue_) {
+        waiting_issue_ = true;
+        wait_started_ = eq_.now();
+    }
+    if (!canIssue(i)) {
+        stats_.counter("issue_stall_polls").inc();
+        return; // onCommit/onGloballyPerformed will wake us
+    }
+    const Tick reached = wait_started_;
+    stats_.counter(i.isSync() ? "sync_issue_stall_cycles"
+                              : "data_issue_stall_cycles")
+        .inc(eq_.now() - reached);
+    waiting_issue_ = false;
+
+    CacheReq req;
+    req.id = next_req_++;
+    req.addr = i.addr;
+    req.read = i.readsMemory();
+    req.write = i.writesMemory();
+    req.is_sync = i.isSync();
+    if (req.write)
+        req.wvalue = (i.op == Opcode::test_and_set)
+                         ? 1
+                         : (i.use_imm ? i.imm : regs_[i.src]);
+
+    Pending p;
+    p.pc = pc_;
+    p.is_sync = req.is_sync;
+    p.has_read = req.read;
+    p.dst = i.dst;
+    p.kind = accessKindOf(i.op);
+    p.addr = i.addr;
+    p.wvalue = req.wvalue;
+    p.timing_idx = timings_.size();
+    timings_.push_back(OpTiming{id_, pc_, p.kind, i.addr, reached,
+                                eq_.now(), 0, 0});
+    stats_.counter(i.isSync() ? "sync_ops" : "data_ops").inc();
+
+    const bool wait_perf = blocksUntilPerformed(i);
+    const bool wait_commit = blocksUntilCommit(i) || wait_perf;
+    p.blocks_pipeline = wait_commit;
+    p.wait_performed = wait_perf;
+
+    retire_queue_.push_back(req.id);
+    pending_.emplace(req.id, p);
+    cache_->access(req);
+
+    ++pc_;
+    if (wait_commit) {
+        blocked_ = true;
+        blocked_on_ = req.id;
+        block_started_ = eq_.now();
+    } else {
+        wake(1);
+    }
+}
+
+void
+Cpu::retire()
+{
+    while (retire_pos_ < retire_queue_.size()) {
+        auto it = pending_.find(retire_queue_[retire_pos_]);
+        wo_assert(it != pending_.end(), "retire queue out of sync");
+        Pending &p = it->second;
+        if (!p.committed)
+            return;
+        if (exec_) {
+            exec_->append(id_, p.addr, p.kind, p.has_read ? p.rvalue : 0,
+                          p.wvalue, timings_[p.timing_idx].committed);
+        }
+        p.retired = true;
+        ++retire_pos_;
+        if (p.performed)
+            pending_.erase(it);
+    }
+}
+
+void
+Cpu::onCommit(std::uint64_t id, Value read_value)
+{
+    auto it = pending_.find(id);
+    wo_assert(it != pending_.end(), "commit for unknown request");
+    Pending &p = it->second;
+    wo_assert(!p.committed, "double commit for request");
+    p.committed = true;
+    p.rvalue = read_value;
+    timings_[p.timing_idx].committed = eq_.now();
+    if (p.has_read)
+        regs_[p.dst] = read_value;
+    // Unblock decisions read p before retire(), which may erase it.
+    if (blocked_ && blocked_on_ == id && !p.wait_performed) {
+        blocked_ = false;
+        stats_.counter(p.is_sync ? "sync_commit_stall_cycles"
+                                 : "read_stall_cycles")
+            .inc(eq_.now() - block_started_);
+        wake(1);
+    } else if (waiting_issue_ && !blocked_) {
+        wake(0);
+    }
+    retire();
+    cleanup(id);
+}
+
+void
+Cpu::onGloballyPerformed(std::uint64_t id)
+{
+    auto it = pending_.find(id);
+    wo_assert(it != pending_.end(), "perform for unknown request");
+    Pending &p = it->second;
+    wo_assert(!p.performed, "double perform for request");
+    p.performed = true;
+    timings_[p.timing_idx].performed = eq_.now();
+    if (blocked_ && blocked_on_ == id && p.wait_performed) {
+        blocked_ = false;
+        stats_.counter(p.is_sync ? "sync_perform_stall_cycles"
+                                 : "perform_stall_cycles")
+            .inc(eq_.now() - block_started_);
+        wake(1);
+    } else if (waiting_issue_ && !blocked_) {
+        wake(0);
+    }
+    cleanup(id);
+}
+
+void
+Cpu::cleanup(std::uint64_t id)
+{
+    auto it = pending_.find(id);
+    if (it == pending_.end())
+        return;
+    const Pending &p = it->second;
+    if (p.committed && p.performed && p.retired)
+        pending_.erase(it);
+}
+
+} // namespace wo

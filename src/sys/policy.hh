@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The processor-side ordering policies under comparison.  Each policy
+ * decides (a) when the next memory access may be issued and (b) how long
+ * the processor must wait on an access before running past it; the cache
+ * and directory are identical underneath.
+ */
+
+#ifndef WO_SYS_POLICY_HH
+#define WO_SYS_POLICY_HH
+
+namespace wo {
+
+/** Processor ordering policies. */
+enum class OrderingPolicy
+{
+    /**
+     * Sequential consistency by the Scheurich/Dubois sufficient condition:
+     * accesses issue in program order and no access issues until the
+     * previous one is globally performed.
+     */
+    sc,
+
+    /**
+     * Weak ordering per Definition 1 (Dubois/Scheurich/Briggs): data
+     * accesses overlap freely between synchronization points, but a
+     * synchronization operation does not issue until all previous accesses
+     * are globally performed, and nothing issues until a previous
+     * synchronization operation is globally performed.
+     */
+    wo_def1,
+
+    /**
+     * The paper's Section-5.3 implementation: a synchronization operation
+     * issues without waiting for previous accesses; the processor resumes
+     * as soon as the operation commits (line exclusive locally).  The
+     * counter + reserve bit in the cache stall *subsequent synchronizers
+     * on the same location* instead.
+     */
+    wo_drf0,
+
+    /**
+     * wo_drf0 plus the Section-6 refinement: read-only synchronization
+     * operations travel the shared-read path, are not serialized through
+     * exclusive ownership, and set no reserve bits.
+     */
+    wo_drf0_ro,
+};
+
+/** Short label for reports. */
+inline const char *
+policyName(OrderingPolicy p)
+{
+    switch (p) {
+      case OrderingPolicy::sc: return "SC";
+      case OrderingPolicy::wo_def1: return "WO-Def1";
+      case OrderingPolicy::wo_drf0: return "WO-DRF0";
+      case OrderingPolicy::wo_drf0_ro: return "WO-DRF0+RO";
+    }
+    return "?";
+}
+
+} // namespace wo
+
+#endif // WO_SYS_POLICY_HH

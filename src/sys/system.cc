@@ -1,0 +1,124 @@
+#include "system.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+std::uint64_t
+SystemResult::cpu_stat_total(const std::string &name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : cpu_counters) {
+        auto it = m.find(name);
+        if (it != m.end())
+            total += it->second;
+    }
+    return total;
+}
+
+System::System(const Program &prog, const SystemCfg &cfg)
+    : prog_(prog), cfg_(cfg)
+{
+    const ProcId procs = prog.numThreads();
+    const NodeId dir_id = procs;
+    cfg_.cache.sync_reads_as_reads =
+        cfg_.policy == OrderingPolicy::wo_drf0_ro;
+
+    net_ = std::make_unique<Network>(eq_, cfg_.net);
+    dir_ = std::make_unique<Directory>(dir_id, *net_,
+                                       prog.initialMemory(), cfg_.dir);
+    net_->attach(dir_id, dir_.get());
+    exec_ = std::make_unique<Execution>(procs, prog.numLocations(),
+                                        prog.initialMemory());
+    for (ProcId p = 0; p < procs; ++p) {
+        cpus_.push_back(std::make_unique<Cpu>(p, prog, eq_, cfg_.policy,
+                                              exec_.get(), cfg_.cpu));
+        caches_.push_back(std::make_unique<Cache>(
+            p, dir_id, procs, eq_, *net_, cpus_.back().get(),
+            prog.numLocations(), cfg_.cache));
+        cpus_.back()->attachCache(caches_.back().get());
+        net_->attach(p, caches_.back().get());
+    }
+}
+
+System::~System() = default;
+
+void
+System::warmShared(Addr addr, const std::vector<ProcId> &procs)
+{
+    for (ProcId p : procs) {
+        caches_[p]->warmShared(addr, prog_.initialValue(addr));
+        dir_->warmSharer(addr, p);
+    }
+}
+
+std::vector<Value>
+System::finalMemory() const
+{
+    std::vector<Value> mem(prog_.numLocations());
+    for (Addr a = 0; a < prog_.numLocations(); ++a) {
+        const NodeId owner = dir_->ownerOf(a);
+        if (owner != invalid_proc && caches_[owner]->holdsModified(a))
+            mem[a] = caches_[owner]->lineValue(a);
+        else
+            mem[a] = dir_->memoryValue(a);
+    }
+    return mem;
+}
+
+SystemResult
+System::run()
+{
+    for (auto &cpu : cpus_)
+        cpu->boot();
+
+    SystemResult r;
+    std::uint64_t events = 0;
+    while (!eq_.empty()) {
+        if (++events > cfg_.max_events) {
+            r.livelocked = true;
+            warn("system livelocked after %llu events running '%s' (%s)",
+                 static_cast<unsigned long long>(events),
+                 prog_.name().c_str(), policyName(cfg_.policy));
+            break;
+        }
+        eq_.step();
+    }
+
+    bool all_halted = true;
+    Tick finish = 0;
+    for (auto &cpu : cpus_) {
+        all_halted = all_halted && cpu->halted();
+        finish = std::max(finish, cpu->finishTick());
+    }
+    r.completed = all_halted && !r.livelocked;
+    r.deadlocked = !all_halted && !r.livelocked;
+    r.finish_tick = finish;
+    r.drain_tick = eq_.now();
+    r.policy = cfg_.policy;
+    r.weak_sync_read_policy = cfg_.policy == OrderingPolicy::wo_drf0_ro;
+
+    r.execution = *exec_;
+    r.outcome.regs.reserve(cpus_.size());
+    for (auto &cpu : cpus_)
+        r.outcome.regs.emplace_back(cpu->regs().begin(),
+                                    cpu->regs().end());
+    r.outcome.memory = finalMemory();
+    for (auto &cpu : cpus_)
+        r.timings.push_back(cpu->timings());
+
+    for (auto &cpu : cpus_) {
+        r.stats += cpu->stats().dump();
+        std::map<std::string, std::uint64_t> counters;
+        for (const auto &kv : cpu->stats().counters())
+            counters[kv.first] = kv.second.value();
+        r.cpu_counters.push_back(std::move(counters));
+    }
+    for (auto &cache : caches_)
+        r.stats += cache->stats().dump();
+    r.stats += dir_->stats().dump();
+    r.stats += net_->stats().dump();
+    return r;
+}
+
+} // namespace wo

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The timed full system: processors, private caches, directory/memory and
+ * the interconnect, wired per Section 5.2, executing one program under a
+ * chosen ordering policy and reporting the execution trace, final outcome,
+ * per-operation timing and component statistics.
+ */
+
+#ifndef WO_SYS_SYSTEM_HH
+#define WO_SYS_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coherence/cache.hh"
+#include "coherence/directory.hh"
+#include "coherence/network.hh"
+#include "event/event_queue.hh"
+#include "execution/execution.hh"
+#include "program/program.hh"
+#include "sys/cpu.hh"
+#include "sys/policy.hh"
+
+namespace wo {
+
+/** Full-system configuration. */
+struct SystemCfg
+{
+    OrderingPolicy policy = OrderingPolicy::wo_drf0;
+    NetworkCfg net;
+    CacheCfg cache;
+    DirectoryCfg dir;
+    CpuCfg cpu;
+    /** Event budget; exceeding it marks the run livelocked. */
+    std::uint64_t max_events = 20'000'000;
+};
+
+/** What a run produced. */
+struct SystemResult
+{
+    bool completed = false;  //!< all processors halted, system drained
+    bool deadlocked = false; //!< events ran dry with processors blocked
+    bool livelocked = false; //!< event budget exhausted
+    Tick finish_tick = 0;    //!< time the last processor halted
+    Tick drain_tick = 0;     //!< time the system fully quiesced
+    Execution execution{1, 1}; //!< retired operations, program order/proc
+    Outcome outcome;         //!< final registers + final memory
+    OrderingPolicy policy = OrderingPolicy::wo_drf0; //!< policy that ran
+    bool weak_sync_read_policy = false; //!< Section-6 refinement active
+    std::vector<std::vector<OpTiming>> timings; //!< per processor
+    std::string stats;       //!< text dump of all component statistics
+
+    /** Sum of a named counter over all cpus (convenience for benches). */
+    std::uint64_t cpu_stat_total(const std::string &name) const;
+
+    std::vector<std::map<std::string, std::uint64_t>> cpu_counters;
+};
+
+/** The machine. */
+class System
+{
+  public:
+    /**
+     * @param prog the program to run (must outlive the system)
+     * @param cfg  configuration; cache.sync_reads_as_reads is forced to
+     *             match the policy (wo_drf0_ro)
+     */
+    System(const Program &prog, const SystemCfg &cfg);
+    ~System();
+
+    /** Run to completion (or deadlock/livelock) and collect results. */
+    SystemResult run();
+
+    /**
+     * Pre-install @p addr as a shared line (its initial value) in the
+     * caches of @p procs, as in Figure 1's "both processors initially have
+     * X and Y in their caches".  Call before run().
+     */
+    void warmShared(Addr addr, const std::vector<ProcId> &procs);
+
+    /** Component access for white-box tests. */
+    Cache &cache(ProcId p) { return *caches_[p]; }
+    Directory &directory() { return *dir_; }
+    Cpu &cpu(ProcId p) { return *cpus_[p]; }
+    EventQueue &eventQueue() { return eq_; }
+
+  private:
+    /** Assemble the final memory image from caches and memory. */
+    std::vector<Value> finalMemory() const;
+
+    const Program &prog_;
+    SystemCfg cfg_;
+    EventQueue eq_;
+    std::unique_ptr<Network> net_;
+    std::unique_ptr<Directory> dir_;
+    std::vector<std::unique_ptr<Cache>> caches_;
+    std::vector<std::unique_ptr<Cpu>> cpus_;
+    std::unique_ptr<Execution> exec_;
+};
+
+} // namespace wo
+
+#endif // WO_SYS_SYSTEM_HH

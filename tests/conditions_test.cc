@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the Section-5.1 sufficient-conditions audit: real runs under
+ * every policy must satisfy conditions 2-5 (the premises of Appendix B's
+ * proof), and doctored results must be caught.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/conditions.hh"
+#include "program/litmus.hh"
+#include "program/workload.hh"
+
+namespace wo {
+namespace {
+
+SystemResult
+runProgram(const Program &p, OrderingPolicy pol, std::uint64_t seed = 1,
+           Tick jitter = 0)
+{
+    SystemCfg cfg;
+    cfg.policy = pol;
+    cfg.net.hop_latency = 10;
+    cfg.net.jitter = jitter;
+    cfg.net.seed = seed;
+    System sys(p, cfg);
+    return sys.run();
+}
+
+const OrderingPolicy all_policies[] = {
+    OrderingPolicy::sc, OrderingPolicy::wo_def1, OrderingPolicy::wo_drf0,
+    OrderingPolicy::wo_drf0_ro};
+
+class ConditionsEveryPolicy : public testing::TestWithParam<OrderingPolicy>
+{
+};
+
+TEST_P(ConditionsEveryPolicy, HoldOnCannedPrograms)
+{
+    for (const Program &p :
+         {litmus::messagePassingSync(), litmus::fig3Scenario(10),
+          litmus::lockedCounter(3, 2), litmus::barrier(3),
+          litmus::pingPong(2)}) {
+        auto r = runProgram(p, GetParam());
+        ASSERT_TRUE(r.completed) << p.name();
+        auto audit = checkSufficientConditions(r);
+        EXPECT_TRUE(audit.ok)
+            << p.name() << " under " << policyName(GetParam()) << ": "
+            << (audit.violations.empty()
+                    ? "?"
+                    : audit.violations[0].toString());
+    }
+}
+
+TEST_P(ConditionsEveryPolicy, HoldOnRandomWorkloadsWithJitter)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        Drf0WorkloadCfg wl;
+        wl.seed = seed;
+        wl.procs = 3;
+        wl.regions = 2;
+        wl.sections = 2;
+        wl.ops_per_section = 3;
+        wl.private_ops = 2;
+        Program p = randomDrf0Program(wl);
+        auto r = runProgram(p, GetParam(), seed, /*jitter=*/6);
+        ASSERT_TRUE(r.completed);
+        auto audit = checkSufficientConditions(r);
+        EXPECT_TRUE(audit.ok)
+            << policyName(GetParam()) << " seed " << seed << ": "
+            << (audit.violations.empty()
+                    ? "?"
+                    : audit.violations[0].toString());
+    }
+}
+
+TEST_P(ConditionsEveryPolicy, HoldEvenOnRacyPrograms)
+{
+    // The conditions are hardware invariants, independent of whether the
+    // software obeys DRF0.
+    auto r = runProgram(litmus::racyCounter(3, 2), GetParam());
+    ASSERT_TRUE(r.completed);
+    EXPECT_TRUE(checkSufficientConditions(r).ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ConditionsEveryPolicy,
+                         testing::ValuesIn(all_policies),
+                         [](const auto &info) {
+                             std::string n = policyName(info.param);
+                             for (auto &c : n)
+                                 if (c == '-' || c == '+')
+                                     c = '_';
+                             return n;
+                         });
+
+TEST(ConditionsCompose, HoldUnderMesiAndAcksFirstVariants)
+{
+    // The conditions are invariants of the protocol family, not of one
+    // configuration: they must survive the MESI grant, the acks-first
+    // directory, queue-mode stalls with the bounded-miss throttle, and
+    // an MLP limit, all at once.
+    Program p = litmus::lockedCounter(3, 2);
+    SystemCfg cfg;
+    cfg.policy = OrderingPolicy::wo_drf0;
+    cfg.net.hop_latency = 10;
+    cfg.net.jitter = 5;
+    cfg.net.seed = 9;
+    cfg.dir.grant_exclusive_clean = true;
+    cfg.dir.forward_line_with_invs = false;
+    cfg.cache.stall_mode = ReserveStallMode::queue;
+    cfg.cache.reserved_miss_limit = 0;
+    cfg.cpu.max_outstanding = 2;
+    System sys(p, cfg);
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.outcome.memory[1], 6);
+    auto audit = checkSufficientConditions(r);
+    EXPECT_TRUE(audit.ok)
+        << (audit.violations.empty() ? "?"
+                                     : audit.violations[0].toString());
+}
+
+TEST(ConditionsAudit, CatchesDoctoredWriteOrder)
+{
+    auto r = runProgram(litmus::lockedCounter(2, 1),
+                        OrderingPolicy::wo_drf0);
+    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(checkSufficientConditions(r).ok);
+    // Corrupt the final memory: condition 2(c) must fire.
+    r.outcome.memory[1] = 999;
+    auto audit = checkSufficientConditions(r);
+    ASSERT_FALSE(audit.ok);
+    EXPECT_EQ(audit.violations[0].condition, 2);
+}
+
+TEST(ConditionsAudit, CatchesDoctoredSyncWindow)
+{
+    Program p = litmus::fig3Scenario();
+    SystemCfg cfg;
+    cfg.policy = OrderingPolicy::wo_drf0;
+    cfg.net.hop_latency = 10;
+    System sys(p, cfg);
+    sys.warmShared(0, {1});
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(checkSufficientConditions(r).ok);
+    // Pretend P0's W(x) performed much later than it did: P1's TAS now
+    // falls inside the pre-sync window, tripping condition 5.
+    for (auto &t : r.timings[0])
+        if (t.kind == AccessKind::data_write)
+            t.performed += 100000;
+    auto audit = checkSufficientConditions(r);
+    ASSERT_FALSE(audit.ok);
+    bool c5 = false;
+    for (const auto &v : audit.violations)
+        c5 = c5 || v.condition == 5;
+    EXPECT_TRUE(c5);
+}
+
+TEST(ConditionsAudit, CatchesDoctoredIssueBeforeSyncCommit)
+{
+    auto r = runProgram(litmus::messagePassingSync(),
+                        OrderingPolicy::wo_drf0);
+    ASSERT_TRUE(r.completed);
+    // Shift P1's post-sync read to issue before the sync committed.
+    auto &tv = r.timings[1];
+    ASSERT_GE(tv.size(), 2u);
+    tv.back().issued = 0;
+    auto audit = checkSufficientConditions(r);
+    ASSERT_FALSE(audit.ok);
+    EXPECT_EQ(audit.violations[0].condition, 4);
+}
+
+} // namespace
+} // namespace wo

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Processor-level tests: instruction timing, program-order retirement
+ * despite out-of-order completion, stall accounting, and the issue rules
+ * each policy enforces, observed through single- and dual-processor runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "program/builder.hh"
+#include "sys/system.hh"
+
+namespace wo {
+namespace {
+
+SystemCfg
+cfg(OrderingPolicy pol = OrderingPolicy::wo_drf0, Tick hop = 10)
+{
+    SystemCfg c;
+    c.policy = pol;
+    c.net.hop_latency = hop;
+    return c;
+}
+
+TEST(CpuTiming, LocalInstructionsTakeOneCycle)
+{
+    ProgramBuilder b("locals", 1);
+    b.thread(0).movi(0, 1).addi(0, 0, 1).add(1, 0, 0).halt();
+    Program p = b.build();
+    System sys(p, cfg());
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    // boot at 0, three locals and a halt: finishes at tick 3.
+    EXPECT_EQ(r.finish_tick, 3u);
+    EXPECT_EQ(r.outcome.regs[0][1], 4);
+}
+
+TEST(CpuTiming, DelayConsumesExactCycles)
+{
+    ProgramBuilder b("delay", 1);
+    b.thread(0).work(25).halt();
+    Program p = b.build();
+    System sys(p, cfg());
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.finish_tick, 26u);
+    EXPECT_EQ(r.cpu_stat_total("work_cycles"), 25u);
+}
+
+TEST(CpuTiming, LoadBlocksForMissRoundTrip)
+{
+    ProgramBuilder b("ld", 1);
+    b.thread(0).load(0, 0).halt();
+    Program p = b.build();
+    System sys(p, cfg(OrderingPolicy::wo_drf0, 10));
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    // GetS out (10) + DataS back (10): commit at 20, halt shortly after.
+    const auto &t = r.timings[0][0];
+    EXPECT_EQ(t.issued, 0u);
+    EXPECT_EQ(t.committed, 20u);
+    EXPECT_EQ(t.performed, 20u);
+    EXPECT_GE(r.cpu_stat_total("read_stall_cycles"), 20u);
+}
+
+TEST(CpuTiming, StoresAreFireAndForgetUnderWeakPolicies)
+{
+    ProgramBuilder b("st", 1);
+    b.thread(0).store(0, 1).store(1, 2).store(2, 3).halt();
+    Program p = b.build();
+    System sys(p, cfg(OrderingPolicy::wo_drf0, 10));
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    // One cycle per store: the CPU halts at tick 3 while misses drain.
+    EXPECT_EQ(r.finish_tick, 3u);
+    EXPECT_GT(r.drain_tick, r.finish_tick);
+    for (const auto &t : r.timings[0])
+        EXPECT_EQ(t.issued, t.reached) << "no issue stalls";
+}
+
+TEST(CpuRetirement, ProgramOrderDespiteOutOfOrderCompletion)
+{
+    // Store (slow miss) then loads of a different, already-written
+    // location: loads commit before the store's data arrives, but the
+    // retired execution must still list the store first.
+    ProgramBuilder b("ooo", 1);
+    b.thread(0)
+        .store(0, 5)  // local location, still a cold miss
+        .store(1, 6)
+        .load(2, 0)   // queued behind the store's MSHR
+        .halt();
+    Program p = b.build();
+    System sys(p, cfg());
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    const auto &po = r.execution.procOps(0);
+    ASSERT_EQ(po.size(), 3u);
+    EXPECT_TRUE(r.execution.op(po[0]).isWrite());
+    EXPECT_EQ(r.execution.op(po[0]).addr, 0u);
+    EXPECT_EQ(r.execution.op(po[2]).value_read, 5);
+}
+
+TEST(CpuPolicy, ScBlocksPerAccess)
+{
+    ProgramBuilder b("sc-two", 1);
+    b.thread(0).store(0, 1).store(1, 2).halt();
+    Program p = b.build();
+    System sc(p, cfg(OrderingPolicy::sc, 10));
+    auto rs = sc.run();
+    ASSERT_TRUE(rs.completed);
+    // Second store may not issue until the first globally performs.
+    EXPECT_GE(rs.timings[0][1].issued, rs.timings[0][0].performed);
+
+    System weak(p, cfg(OrderingPolicy::wo_drf0, 10));
+    auto rw = weak.run();
+    EXPECT_LT(rw.timings[0][1].issued, rw.timings[0][0].performed);
+}
+
+TEST(CpuPolicy, Def1SyncWaitsForPriorAccesses)
+{
+    ProgramBuilder b("def1-sync", 1);
+    b.thread(0).store(0, 1).syncStore(1, 1).halt();
+    Program p = b.build();
+    System sys(p, cfg(OrderingPolicy::wo_def1, 10));
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_GE(r.timings[0][1].issued, r.timings[0][0].performed);
+    EXPECT_GT(r.cpu_stat_total("sync_issue_stall_cycles"), 0u);
+}
+
+TEST(CpuPolicy, Drf0SyncIssuesImmediatelyAndWaitsForCommitOnly)
+{
+    ProgramBuilder b("drf0-sync", 1);
+    b.thread(0).store(0, 1).syncStore(1, 1).store(2, 3).halt();
+    Program p = b.build();
+    System sys(p, cfg(OrderingPolicy::wo_drf0, 10));
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    const auto &st = r.timings[0][0];
+    const auto &sy = r.timings[0][1];
+    const auto &post = r.timings[0][2];
+    EXPECT_LT(sy.issued, st.performed) << "no wait for prior accesses";
+    EXPECT_GE(post.issued, sy.committed) << "but waits for sync commit";
+    EXPECT_EQ(r.cpu_stat_total("sync_issue_stall_cycles"), 0u);
+    EXPECT_GT(r.cpu_stat_total("sync_commit_stall_cycles"), 0u);
+}
+
+TEST(CpuStats, OpCountsAreExact)
+{
+    ProgramBuilder b("counts", 1);
+    b.thread(0)
+        .store(0, 1)
+        .load(0, 0)
+        .syncStore(1, 1)
+        .testAndSet(1, 1)
+        .halt();
+    Program p = b.build();
+    System sys(p, cfg());
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_EQ(r.cpu_stat_total("data_ops"), 2u);
+    EXPECT_EQ(r.cpu_stat_total("sync_ops"), 2u);
+}
+
+TEST(CpuTiming, TimingsAlignWithExecution)
+{
+    ProgramBuilder b("align", 2);
+    b.thread(0).store(0, 1).load(1, 0).halt();
+    b.thread(1).store(1, 2).halt();
+    Program p = b.build();
+    System sys(p, cfg());
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    for (ProcId q = 0; q < 2; ++q) {
+        ASSERT_EQ(r.timings[q].size(), r.execution.procOps(q).size());
+        for (std::size_t i = 0; i < r.timings[q].size(); ++i) {
+            const auto &t = r.timings[q][i];
+            const auto &op = r.execution.op(r.execution.procOps(q)[i]);
+            EXPECT_EQ(t.addr, op.addr);
+            EXPECT_EQ(t.kind, op.kind);
+            EXPECT_EQ(t.committed, op.commit_tick);
+            EXPECT_LE(t.reached, t.issued);
+            EXPECT_LE(t.issued, t.committed);
+            EXPECT_LE(t.committed, t.performed);
+        }
+    }
+}
+
+} // namespace
+} // namespace wo

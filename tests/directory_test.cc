@@ -1,0 +1,248 @@
+/**
+ * @file
+ * White-box tests of the directory controller: every state transition and
+ * the serialization rules (busy, collecting, deferred data), driven by
+ * hand-crafted message sequences over a real network with recording
+ * sinks standing in for caches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/directory.hh"
+
+namespace wo {
+namespace {
+
+/** Records everything delivered to one node. */
+class Sink : public MsgHandler
+{
+  public:
+    void receive(const Message &msg) override { got.push_back(msg); }
+
+    /** Count of messages of one type. */
+    int
+    count(MsgType t) const
+    {
+        int n = 0;
+        for (const auto &m : got)
+            n += m.type == t;
+        return n;
+    }
+
+    /** The last message of type @p t (asserts existence). */
+    Message
+    last(MsgType t) const
+    {
+        for (auto it = got.rbegin(); it != got.rend(); ++it)
+            if (it->type == t)
+                return *it;
+        ADD_FAILURE() << "no message of type " << msgTypeName(t);
+        return Message{};
+    }
+
+    std::vector<Message> got;
+};
+
+/** Harness: 3 caches (sinks 0..2) + a directory at node 3. */
+class DirHarness : public testing::Test
+{
+  protected:
+    DirHarness()
+        : net_(eq_, NetworkCfg{1, 0, 1}),
+          dir_(3, net_, std::vector<Value>{10, 20}, DirectoryCfg{})
+    {
+        for (NodeId n = 0; n < 3; ++n)
+            net_.attach(n, &sinks_[n]);
+        net_.attach(3, &dir_);
+    }
+
+    /** Send a request into the directory and drain the network. */
+    void
+    send(MsgType t, NodeId src, Addr addr, NodeId requester = invalid_proc,
+         Value value = 0)
+    {
+        Message m;
+        m.type = t;
+        m.src = src;
+        m.dst = 3;
+        m.addr = addr;
+        m.requester = requester == invalid_proc ? src : requester;
+        m.value = value;
+        net_.send(m);
+        eq_.runAll();
+    }
+
+    EventQueue eq_;
+    Network net_;
+    Sink sinks_[3];
+    Directory dir_;
+};
+
+TEST_F(DirHarness, ColdReadServedFromMemory)
+{
+    send(MsgType::get_s, 0, 0);
+    ASSERT_EQ(sinks_[0].count(MsgType::data_s), 1);
+    EXPECT_EQ(sinks_[0].last(MsgType::data_s).value, 10);
+    EXPECT_TRUE(dir_.quiescent());
+}
+
+TEST_F(DirHarness, ColdWriteGrantsExclusiveNoAcks)
+{
+    send(MsgType::get_x, 0, 0);
+    ASSERT_EQ(sinks_[0].count(MsgType::data_x), 1);
+    EXPECT_EQ(sinks_[0].last(MsgType::data_x).ack_count, 0);
+    EXPECT_EQ(dir_.ownerOf(0), 0);
+}
+
+TEST_F(DirHarness, UpgradeInvalidatesOtherSharersAndAcks)
+{
+    send(MsgType::get_s, 0, 0);
+    send(MsgType::get_s, 1, 0);
+    send(MsgType::get_s, 2, 0);
+    send(MsgType::get_x, 0, 0); // upgrade: invalidate 1 and 2
+    ASSERT_EQ(sinks_[0].count(MsgType::data_x), 1);
+    EXPECT_EQ(sinks_[0].last(MsgType::data_x).ack_count, 2);
+    EXPECT_EQ(sinks_[1].count(MsgType::inv), 1);
+    EXPECT_EQ(sinks_[2].count(MsgType::inv), 1);
+    EXPECT_FALSE(dir_.quiescent()) << "collecting acks";
+    send(MsgType::inv_ack, 1, 0);
+    EXPECT_EQ(sinks_[0].count(MsgType::mem_ack), 0) << "one ack missing";
+    send(MsgType::inv_ack, 2, 0);
+    EXPECT_EQ(sinks_[0].count(MsgType::mem_ack), 1);
+    EXPECT_TRUE(dir_.quiescent());
+}
+
+TEST_F(DirHarness, SoleSharerUpgradeNeedsNoAcks)
+{
+    send(MsgType::get_s, 0, 0);
+    send(MsgType::get_x, 0, 0);
+    EXPECT_EQ(sinks_[0].last(MsgType::data_x).ack_count, 0);
+    EXPECT_TRUE(dir_.quiescent());
+}
+
+TEST_F(DirHarness, ReadOfDirtyLineForwardsToOwner)
+{
+    send(MsgType::get_x, 0, 0);
+    send(MsgType::get_s, 1, 0);
+    ASSERT_EQ(sinks_[0].count(MsgType::fwd_get_s), 1);
+    EXPECT_EQ(sinks_[0].last(MsgType::fwd_get_s).requester, 1);
+    // Owner answers with a writeback carrying the dirty value.
+    send(MsgType::wb_data, 0, 0, /*requester=*/1, /*value=*/99);
+    ASSERT_EQ(sinks_[1].count(MsgType::data_s), 1);
+    EXPECT_EQ(sinks_[1].last(MsgType::data_s).value, 99);
+    EXPECT_EQ(dir_.memoryValue(0), 99);
+    EXPECT_EQ(dir_.ownerOf(0), invalid_proc) << "line now shared";
+    EXPECT_TRUE(dir_.quiescent());
+}
+
+TEST_F(DirHarness, WriteOfDirtyLineTransfersOwnership)
+{
+    send(MsgType::get_x, 0, 0);
+    send(MsgType::get_x, 1, 0);
+    ASSERT_EQ(sinks_[0].count(MsgType::fwd_get_x), 1);
+    send(MsgType::transfer_ack, 0, 0, /*requester=*/1);
+    EXPECT_EQ(dir_.ownerOf(0), 1);
+    EXPECT_TRUE(dir_.quiescent());
+}
+
+TEST_F(DirHarness, RequestsQueueBehindBusyLine)
+{
+    send(MsgType::get_x, 0, 0);
+    send(MsgType::get_x, 1, 0); // forwarded to 0; dir busy
+    send(MsgType::get_s, 2, 0); // must queue, not forward
+    EXPECT_EQ(sinks_[0].count(MsgType::fwd_get_s), 0)
+        << "GetS must wait for the in-flight transaction";
+    send(MsgType::transfer_ack, 0, 0, /*requester=*/1);
+    // Now the queued GetS is replayed against the new owner.
+    EXPECT_EQ(sinks_[1].count(MsgType::fwd_get_s), 1);
+}
+
+TEST_F(DirHarness, RequestsQueueBehindCollectingLine)
+{
+    send(MsgType::get_s, 1, 0);
+    send(MsgType::get_x, 0, 0); // inv to 1, collecting
+    send(MsgType::get_s, 2, 0); // must queue during collection
+    EXPECT_EQ(sinks_[0].count(MsgType::fwd_get_s), 0);
+    send(MsgType::inv_ack, 1, 0);
+    EXPECT_EQ(sinks_[0].count(MsgType::mem_ack), 1);
+    // Queued GetS now forwarded to owner 0.
+    EXPECT_EQ(sinks_[0].count(MsgType::fwd_get_s), 1);
+}
+
+TEST_F(DirHarness, OwnerNackBouncesRequester)
+{
+    send(MsgType::get_x, 0, 0);
+    send(MsgType::get_x, 1, 0); // fwd to 0
+    send(MsgType::nack, 0, 0, /*requester=*/1); // owner refuses
+    EXPECT_EQ(sinks_[1].count(MsgType::nack), 1);
+    EXPECT_EQ(dir_.ownerOf(0), 0) << "ownership unchanged";
+    EXPECT_TRUE(dir_.quiescent());
+}
+
+TEST_F(DirHarness, IndependentLinesProceedInParallel)
+{
+    send(MsgType::get_x, 0, 0);
+    send(MsgType::get_x, 1, 0); // line 0 busy (fwd to 0)
+    send(MsgType::get_x, 2, 1); // line 1 independent
+    EXPECT_EQ(sinks_[2].count(MsgType::data_x), 1)
+        << "a busy line must not block other lines";
+}
+
+TEST_F(DirHarness, Quiescence)
+{
+    EXPECT_TRUE(dir_.quiescent());
+    send(MsgType::get_x, 0, 0);
+    EXPECT_TRUE(dir_.quiescent());
+    send(MsgType::get_x, 1, 0);
+    EXPECT_FALSE(dir_.quiescent());
+}
+
+class DeferredDirHarness : public testing::Test
+{
+  protected:
+    DeferredDirHarness()
+        : net_(eq_, NetworkCfg{1, 0, 1}),
+          dir_(3, net_, std::vector<Value>{10},
+               DirectoryCfg{/*forward_line_with_invs=*/false})
+    {
+        for (NodeId n = 0; n < 3; ++n)
+            net_.attach(n, &sinks_[n]);
+        net_.attach(3, &dir_);
+    }
+
+    void
+    send(MsgType t, NodeId src, Addr addr)
+    {
+        Message m;
+        m.type = t;
+        m.src = src;
+        m.dst = 3;
+        m.addr = addr;
+        m.requester = src;
+        net_.send(m);
+        eq_.runAll();
+    }
+
+    EventQueue eq_;
+    Network net_;
+    Sink sinks_[3];
+    Directory dir_;
+};
+
+TEST_F(DeferredDirHarness, DataWithheldUntilAcksCollected)
+{
+    send(MsgType::get_s, 1, 0);
+    send(MsgType::get_s, 2, 0);
+    send(MsgType::get_x, 0, 0);
+    EXPECT_EQ(sinks_[0].count(MsgType::data_x), 0)
+        << "grant must wait for invalidation acks";
+    send(MsgType::inv_ack, 1, 0);
+    send(MsgType::inv_ack, 2, 0);
+    ASSERT_EQ(sinks_[0].count(MsgType::data_x), 1);
+    EXPECT_EQ(sinks_[0].last(MsgType::data_x).ack_count, 0)
+        << "deferred grant is already globally performed";
+    EXPECT_EQ(sinks_[0].count(MsgType::mem_ack), 0);
+}
+
+} // namespace
+} // namespace wo

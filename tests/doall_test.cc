@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the do-all (phased/barrier) synchronization model: the
+ * structural discipline check, the phased-program builder, and the
+ * soundness property that valid plans yield DRF0 programs while injected
+ * same-phase conflicts yield races.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/doall.hh"
+#include "core/drf0_checker.hh"
+#include "sys/system.hh"
+
+namespace wo {
+namespace {
+
+DoallPlan
+tinyValidPlan()
+{
+    DoallPlan plan;
+    plan.threads = 2;
+    plan.data_locations = 4;
+    // Phase 0: T0 writes 0, T1 writes 2.
+    // Phase 1: T0 reads 2 (T1's output) and writes 1; T1 reads 0.
+    plan.phases.resize(2, std::vector<PhaseAccess>(2));
+    plan.phases[0][0].writes = {0};
+    plan.phases[0][1].writes = {2};
+    plan.phases[1][0].reads = {2};
+    plan.phases[1][0].writes = {1};
+    plan.phases[1][1].reads = {0};
+    return plan;
+}
+
+TEST(Doall, ValidPlanAccepted)
+{
+    auto r = checkDoallDiscipline(tinyValidPlan());
+    EXPECT_TRUE(r.valid)
+        << (r.issues.empty() ? "?" : r.issues[0].toString());
+}
+
+TEST(Doall, SamePhaseWriteReadRejected)
+{
+    DoallPlan plan = tinyValidPlan();
+    plan.phases[0][1].reads.insert(0); // T1 reads what T0 writes now
+    auto r = checkDoallDiscipline(plan);
+    ASSERT_FALSE(r.valid);
+    EXPECT_EQ(r.issues[0].phase, 0u);
+    EXPECT_FALSE(r.issues[0].other_writes);
+    EXPECT_NE(r.issues[0].toString().find("reads it"), std::string::npos);
+}
+
+TEST(Doall, SamePhaseWriteWriteRejectedOnce)
+{
+    DoallPlan plan = tinyValidPlan();
+    plan.phases[0][1].writes.insert(0);
+    auto r = checkDoallDiscipline(plan);
+    ASSERT_FALSE(r.valid);
+    ASSERT_EQ(r.issues.size(), 1u) << "pair reported once";
+    EXPECT_TRUE(r.issues[0].other_writes);
+}
+
+TEST(Doall, BuilderEmitsBarriersPerPhase)
+{
+    Program p = buildPhased(tinyValidPlan());
+    // Two phases => two release flags (syncStore of go0/go1) somewhere.
+    int sync_stores_of_flags = 0;
+    for (ProcId t = 0; t < p.numThreads(); ++t)
+        for (const auto &i : p.thread(t).code)
+            if (i.op == Opcode::sync_store && i.addr > 4 && i.imm == 1)
+                ++sync_stores_of_flags;
+    EXPECT_EQ(sync_stores_of_flags, 2 * 2)
+        << "each thread carries the conditional release of each phase";
+}
+
+TEST(Doall, ValidPlanObeysDrf0)
+{
+    Program p = buildPhased(tinyValidPlan());
+    auto v = checkDrf0(p);
+    EXPECT_TRUE(v.obeys) << v.toString();
+}
+
+TEST(Doall, ConflictingPlanViolatesDrf0)
+{
+    DoallPlan plan = tinyValidPlan();
+    plan.phases[0][1].reads.insert(0);
+    EXPECT_FALSE(checkDoallDiscipline(plan).valid);
+    Program p = buildPhased(plan);
+    EXPECT_FALSE(checkDrf0(p).obeys);
+}
+
+TEST(Doall, PhasedDataFlowsThroughBarrier)
+{
+    // On the timed weak machine, phase-1 readers must observe phase-0
+    // writes (barrier ordering): verify via final register contents.
+    DoallPlan plan = tinyValidPlan();
+    Program p = buildPhased(plan);
+    SystemCfg cfg;
+    cfg.policy = OrderingPolicy::wo_drf0;
+    System sys(p, cfg);
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    // T0's phase-1 read of [2] (T1's phase-0 write) lands in r0; values
+    // are assigned in builder order: T0 writes 1 -> [0], 2 -> [1] (phase
+    // 1), T1 writes 3 -> [2]... builder assigns per-thread sequentially:
+    // T0: [0]=1, [1]=2; T1: [2]=3.  So T0 must read 3.
+    EXPECT_EQ(r.outcome.regs[0][0], 3);
+    EXPECT_EQ(r.outcome.regs[1][0], 1) << "T1 reads T0's phase-0 write";
+}
+
+class DoallProperty : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(DoallProperty, RandomValidPlansAreDrf0)
+{
+    // One phase keeps the exhaustive check fast; the fixed two-phase
+    // plan above covers cross-phase ordering.
+    auto seed = static_cast<std::uint64_t>(GetParam());
+    DoallPlan plan = randomDoallPlan(2, 1, 4, 2, seed);
+    ASSERT_TRUE(checkDoallDiscipline(plan).valid);
+    Program p = buildPhased(plan);
+    auto v = checkDrf0(p);
+    EXPECT_TRUE(v.obeys) << p.toString() << v.toString();
+    EXPECT_FALSE(v.exhausted);
+}
+
+TEST_P(DoallProperty, InjectedConflictsAreCaughtBothWays)
+{
+    auto seed = static_cast<std::uint64_t>(GetParam());
+    DoallPlan plan = randomConflictingPlan(2, 2, 4, 2, seed);
+    EXPECT_FALSE(checkDoallDiscipline(plan).valid)
+        << "structural check must reject";
+    Program p = buildPhased(plan);
+    auto v = checkDrf0(p);
+    EXPECT_FALSE(v.obeys) << "semantic check must agree";
+}
+
+TEST_P(DoallProperty, TimedRunsCorrectUnderAllPolicies)
+{
+    auto seed = static_cast<std::uint64_t>(GetParam()) + 77;
+    DoallPlan plan = randomDoallPlan(3, 3, 6, 3, seed);
+    Program p = buildPhased(plan);
+    SystemResult reference;
+    bool first = true;
+    for (OrderingPolicy pol :
+         {OrderingPolicy::sc, OrderingPolicy::wo_def1,
+          OrderingPolicy::wo_drf0, OrderingPolicy::wo_drf0_ro}) {
+        SystemCfg cfg;
+        cfg.policy = pol;
+        System sys(p, cfg);
+        auto r = sys.run();
+        ASSERT_TRUE(r.completed) << policyName(pol);
+        if (first) {
+            reference = std::move(r);
+            first = false;
+        } else {
+            // Deterministic data-race-free phased programs have a unique
+            // data outcome: every policy must agree on final data memory.
+            for (Addr a = 0; a < plan.data_locations; ++a)
+                EXPECT_EQ(r.outcome.memory[a],
+                          reference.outcome.memory[a])
+                    << policyName(pol) << " loc " << a;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DoallProperty, testing::Range(0, 12));
+
+} // namespace
+} // namespace wo

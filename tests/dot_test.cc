@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests for the DOT (Graphviz) export of happens-before structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hb/dot.hh"
+#include "hb/fig2.hh"
+
+namespace wo {
+namespace {
+
+TEST(Dot, Fig2aRendersClustersAndEdges)
+{
+    Execution e = fig2::executionA();
+    DotCfg cfg;
+    cfg.title = "figure 2(a)";
+    std::string dot = executionToDot(e, cfg);
+    EXPECT_NE(dot.find("digraph execution"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_p0"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_p5"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"figure 2(a)\""), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed, color=blue"), std::string::npos)
+        << "so edges present";
+    EXPECT_EQ(dot.find("color=red"), std::string::npos)
+        << "figure 2(a) has no races";
+}
+
+TEST(Dot, Fig2bMarksRaces)
+{
+    std::string dot = executionToDot(fig2::executionB());
+    EXPECT_NE(dot.find("color=red"), std::string::npos);
+    EXPECT_NE(dot.find("label=\"race\""), std::string::npos);
+}
+
+TEST(Dot, RaceMarkingCanBeDisabled)
+{
+    DotCfg cfg;
+    cfg.mark_races = false;
+    std::string dot = executionToDot(fig2::executionB(), cfg);
+    EXPECT_EQ(dot.find("color=red"), std::string::npos);
+}
+
+TEST(Dot, SyncOpsHighlighted)
+{
+    std::string dot = executionToDot(fig2::executionA());
+    EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor=white"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotes)
+{
+    Execution e(1, 1);
+    e.append(0, 0, AccessKind::data_write, 0, 1);
+    DotCfg cfg;
+    cfg.title = "say \"hi\"";
+    std::string dot = executionToDot(e, cfg);
+    EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(Dot, BalancedBraces)
+{
+    std::string dot = executionToDot(fig2::executionA());
+    int depth = 0;
+    for (char c : dot) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        EXPECT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+} // namespace
+} // namespace wo

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "event/event_queue.hh"
+
+namespace wo {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, "c", [&] { order.push_back(3); });
+    q.schedule(10, "a", [&] { order.push_back(1); });
+    q.schedule(20, "b", [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(5, "e", [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        if (++fired < 4)
+            q.schedule(2, "chain", chain);
+    };
+    q.schedule(0, "start", chain);
+    q.runAll();
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(q.now(), 6u);
+}
+
+TEST(EventQueue, ZeroDelayRunsThisTick)
+{
+    EventQueue q;
+    Tick seen = max_tick;
+    q.schedule(7, "outer", [&] {
+        q.schedule(0, "inner", [&] { seen = q.now(); });
+    });
+    q.runAll();
+    EXPECT_EQ(seen, 7u);
+}
+
+TEST(EventQueue, RunUntilStopsEarly)
+{
+    EventQueue q;
+    int count = 0;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(static_cast<Tick>(i), "t", [&] { ++count; });
+    q.runUntil([&] { return count >= 3; });
+    EXPECT_EQ(count, 3);
+    EXPECT_FALSE(q.empty());
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(10, "later", [] {});
+    q.runAll();
+    EXPECT_DEATH(q.scheduleAt(5, "past", [] {}), "past");
+}
+
+TEST(EventQueue, ExecutedCounts)
+{
+    EventQueue q;
+    for (int i = 0; i < 6; ++i)
+        q.schedule(1, "x", [] {});
+    EXPECT_EQ(q.pending(), 6u);
+    q.runAll();
+    EXPECT_EQ(q.executed(), 6u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, LivelockGuardPanics)
+{
+    EventQueue q;
+    std::function<void()> forever = [&] { q.schedule(1, "loop", forever); };
+    q.schedule(0, "start", forever);
+    EXPECT_DEATH(q.runAll(1000), "livelock");
+}
+
+} // namespace
+} // namespace wo

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Unit tests for execution traces and outcomes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "execution/execution.hh"
+
+namespace wo {
+namespace {
+
+TEST(MemoryOp, ConflictRules)
+{
+    MemoryOp r1{0, 0, 5, AccessKind::data_read, 0, 0, 0, 0};
+    MemoryOp r2{1, 1, 5, AccessKind::data_read, 0, 0, 0, 0};
+    MemoryOp w{2, 1, 5, AccessKind::data_write, 0, 1, 0, 0};
+    MemoryOp w_other{3, 1, 6, AccessKind::data_write, 0, 1, 0, 0};
+    EXPECT_FALSE(r1.conflictsWith(r2)) << "two reads never conflict";
+    EXPECT_TRUE(r1.conflictsWith(w));
+    EXPECT_TRUE(w.conflictsWith(r1));
+    EXPECT_FALSE(w.conflictsWith(w_other)) << "different locations";
+    MemoryOp srw{4, 0, 5, AccessKind::sync_rmw, 0, 1, 0, 0};
+    EXPECT_TRUE(srw.conflictsWith(r1));
+    EXPECT_TRUE(srw.isRead());
+    EXPECT_TRUE(srw.isWrite());
+    EXPECT_TRUE(srw.isSync());
+}
+
+TEST(Execution, AssignsIdsAndProgramOrder)
+{
+    Execution e(2, 3);
+    OpId a = e.append(0, 0, AccessKind::data_write, 0, 1);
+    OpId b = e.append(1, 1, AccessKind::data_read, 0, 0);
+    OpId c = e.append(0, 2, AccessKind::data_read, 0, 0);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(c, 2u);
+    EXPECT_EQ(e.procOps(0), (std::vector<OpId>{a, c}));
+    EXPECT_EQ(e.procOps(1), (std::vector<OpId>{b}));
+    EXPECT_EQ(e.op(c).po_index, 1u);
+}
+
+TEST(Execution, InitialValuesDefaultToZero)
+{
+    Execution e(1, 4);
+    EXPECT_EQ(e.initialValue(3), 0);
+    Execution e2(1, 2, {5, 6});
+    EXPECT_EQ(e2.initialValue(0), 5);
+    EXPECT_EQ(e2.initialValue(1), 6);
+}
+
+TEST(Execution, ValuesPlausibleAcceptsWrittenAndInitial)
+{
+    Execution e(2, 2, {9, 0});
+    e.append(0, 0, AccessKind::data_read, 9, 0);  // initial value: ok
+    e.append(0, 1, AccessKind::data_write, 0, 4);
+    e.append(1, 1, AccessKind::data_read, 4, 0);  // written value: ok
+    std::string why;
+    EXPECT_TRUE(e.valuesPlausible(&why)) << why;
+}
+
+TEST(Execution, ValuesPlausibleRejectsOutOfThinAir)
+{
+    Execution e(1, 1);
+    e.append(0, 0, AccessKind::data_read, 42, 0);
+    std::string why;
+    EXPECT_FALSE(e.valuesPlausible(&why));
+    EXPECT_NE(why.find("no write"), std::string::npos);
+}
+
+TEST(Outcome, EqualityAndOrdering)
+{
+    Outcome a{{{1, 0}}, {2}};
+    Outcome b{{{1, 0}}, {2}};
+    Outcome c{{{1, 1}}, {2}};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_TRUE(a < c || c < a);
+    EXPECT_FALSE(a < b);
+    EXPECT_FALSE(b < a);
+}
+
+TEST(Outcome, ToStringElidesZeroRegisters)
+{
+    Outcome o{{{0, 7}, {0, 0}}, {1, 2}};
+    std::string s = o.toString();
+    EXPECT_NE(s.find("P0:r1=7"), std::string::npos);
+    EXPECT_EQ(s.find("P1:"), std::string::npos);
+    EXPECT_NE(s.find("[0]=1"), std::string::npos);
+}
+
+TEST(Execution, ToStringListsOps)
+{
+    Execution e(2, 1);
+    e.append(0, 0, AccessKind::data_write, 0, 3);
+    e.append(1, 0, AccessKind::sync_rmw, 3, 1);
+    std::string s = e.toString();
+    EXPECT_NE(s.find("P0 W"), std::string::npos);
+    EXPECT_NE(s.find("P1 SRW"), std::string::npos);
+}
+
+TEST(Execution, OutOfRangeAccessPanics)
+{
+    Execution e(1, 1);
+    EXPECT_DEATH(e.append(3, 0, AccessKind::data_read, 0, 0), "range");
+    EXPECT_DEATH(e.op(99), "range");
+}
+
+} // namespace
+} // namespace wo

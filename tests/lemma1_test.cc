@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the executable Lemma 1 (hb-last-write) checker, including the
+ * property that SC executions of DRF0 programs always satisfy it and that
+ * it agrees with the full SC checker on machine traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "hb/lemma1.hh"
+#include "models/explorer.hh"
+#include "models/sc_model.hh"
+#include "program/workload.hh"
+#include "sc/sc_checker.hh"
+#include "sys/system.hh"
+
+namespace wo {
+namespace {
+
+TEST(Lemma1, ReleaseAcquireChainPasses)
+{
+    Execution e(2, 2);
+    e.append(0, 0, AccessKind::data_write, 0, 7);
+    e.append(0, 1, AccessKind::sync_write, 0, 1);
+    e.append(1, 1, AccessKind::sync_rmw, 1, 2);
+    e.append(1, 0, AccessKind::data_read, 7, 0);
+    auto r = checkHbLastWrite(e);
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.violations.empty());
+}
+
+TEST(Lemma1, StaleReadDetected)
+{
+    Execution e(2, 2);
+    e.append(0, 0, AccessKind::data_write, 0, 7);
+    e.append(0, 1, AccessKind::sync_write, 0, 1);
+    e.append(1, 1, AccessKind::sync_rmw, 1, 2);
+    e.append(1, 0, AccessKind::data_read, 0, 0); // stale! should be 7
+    auto r = checkHbLastWrite(e);
+    ASSERT_FALSE(r.ok);
+    ASSERT_EQ(r.violations.size(), 1u);
+    EXPECT_EQ(r.violations[0].kind, Lemma1Violation::Kind::wrong_value);
+    EXPECT_EQ(r.violations[0].expected, 7);
+    EXPECT_NE(r.violations[0].toString(e).find("should have returned 7"),
+              std::string::npos);
+}
+
+TEST(Lemma1, InitialValueIsTheDefaultLastWrite)
+{
+    Execution e(1, 1, {5});
+    e.append(0, 0, AccessKind::data_read, 5, 0);
+    EXPECT_TRUE(checkHbLastWrite(e).ok);
+
+    Execution bad(1, 1, {5});
+    bad.append(0, 0, AccessKind::data_read, 3, 0);
+    EXPECT_FALSE(checkHbLastWrite(bad).ok);
+}
+
+TEST(Lemma1, AmbiguousLastWriteIsARace)
+{
+    // Two unordered writes both hb-before the read via separate sync
+    // chains on different locations.
+    Execution e(3, 4);
+    e.append(0, 0, AccessKind::data_write, 0, 1); // 0: P0 W(x)=1
+    e.append(0, 2, AccessKind::sync_write, 0, 1); // 1: P0 S(a)
+    e.append(1, 0, AccessKind::data_write, 0, 2); // 2: P1 W(x)=2
+    e.append(1, 3, AccessKind::sync_write, 0, 1); // 3: P1 S(b)
+    e.append(2, 2, AccessKind::sync_rmw, 1, 2);   // 4: P2 S(a)
+    e.append(2, 3, AccessKind::sync_rmw, 1, 2);   // 5: P2 S(b)
+    e.append(2, 0, AccessKind::data_read, 2, 0);  // 6: P2 R(x)
+    auto r = checkHbLastWrite(e);
+    ASSERT_FALSE(r.ok);
+    EXPECT_EQ(r.violations[0].kind,
+              Lemma1Violation::Kind::ambiguous_last);
+}
+
+TEST(Lemma1, OwnProgramOrderWriteWins)
+{
+    Execution e(1, 1);
+    e.append(0, 0, AccessKind::data_write, 0, 1);
+    e.append(0, 0, AccessKind::data_write, 0, 2);
+    e.append(0, 0, AccessKind::data_read, 2, 0);
+    EXPECT_TRUE(checkHbLastWrite(e).ok);
+
+    Execution bad(1, 1);
+    bad.append(0, 0, AccessKind::data_write, 0, 1);
+    bad.append(0, 0, AccessKind::data_write, 0, 2);
+    bad.append(0, 0, AccessKind::data_read, 1, 0); // must see 2
+    EXPECT_FALSE(checkHbLastWrite(bad).ok);
+}
+
+TEST(Lemma1, RmwReadComponentChecked)
+{
+    Execution e(2, 1, {1});
+    e.append(0, 0, AccessKind::sync_rmw, 1, 1); // reads initial 1
+    e.append(1, 0, AccessKind::sync_rmw, 1, 1); // must read 1 (written 1)
+    EXPECT_TRUE(checkHbLastWrite(e).ok);
+
+    Execution bad(2, 1, {1});
+    bad.append(0, 0, AccessKind::sync_rmw, 1, 0); // unset: writes 0
+    bad.append(1, 0, AccessKind::sync_rmw, 1, 1); // claims 1: stale
+    EXPECT_FALSE(checkHbLastWrite(bad).ok);
+}
+
+class Lemma1Property : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(Lemma1Property, HoldsOnIdealizedExecutionsOfDrf0Programs)
+{
+    Drf0WorkloadCfg cfg;
+    cfg.seed = static_cast<std::uint64_t>(GetParam());
+    cfg.procs = 2;
+    cfg.regions = 1;
+    cfg.sections = 2;
+    cfg.ops_per_section = 2;
+    Program p = randomDrf0Program(cfg);
+    // Drive the SC machine along a random schedule, recording the trace.
+    ScModel m(p);
+    auto s = m.initial();
+    Execution trace(p.numThreads(), p.numLocations(), p.initialMemory());
+    Rng rng(cfg.seed * 977 + 3);
+    while (!m.isFinal(s)) {
+        ProcId pick = static_cast<ProcId>(rng.below(p.numThreads()));
+        if (!m.step(s, pick, &trace))
+            continue;
+    }
+    auto r = checkHbLastWrite(trace);
+    EXPECT_TRUE(r.ok) << (r.violations.empty()
+                              ? std::string("?")
+                              : r.violations[0].toString(trace));
+}
+
+TEST_P(Lemma1Property, HoldsOnTimedExecutionsOfDrf0Programs)
+{
+    Drf0WorkloadCfg cfg;
+    cfg.seed = static_cast<std::uint64_t>(GetParam()) + 500;
+    cfg.procs = 3;
+    cfg.regions = 2;
+    cfg.sections = 2;
+    cfg.ops_per_section = 3;
+    Program p = randomDrf0Program(cfg);
+    SystemCfg sys_cfg;
+    sys_cfg.net.jitter = 4;
+    sys_cfg.net.seed = cfg.seed;
+    System sys(p, sys_cfg);
+    auto run = sys.run();
+    ASSERT_TRUE(run.completed);
+    auto lemma = checkHbLastWrite(run.execution);
+    EXPECT_TRUE(lemma.ok);
+    // And Lemma 1's sufficiency: the full SC check must agree.
+    EXPECT_TRUE(isSequentiallyConsistent(run.execution));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma1Property, testing::Range(0, 20));
+
+} // namespace
+} // namespace wo

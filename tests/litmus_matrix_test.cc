@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The litmus matrix as assertions: for each classical shape, which
+ * machines allow the SC-forbidden outcome.  These tests pin down the
+ * precise weakness of every model -- write-side relaxation with reads
+ * performed at issue, per-location coherence everywhere -- so that any
+ * future change to a model's semantics trips a fence here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "models/explorer.hh"
+#include "models/network_model.hh"
+#include "models/sc_model.hh"
+#include "models/stale_cache_model.hh"
+#include "models/wo_def1_model.hh"
+#include "models/wo_drf0_model.hh"
+#include "models/write_buffer_model.hh"
+#include "program/litmus.hh"
+
+namespace wo {
+namespace {
+
+using Probe = std::function<bool(const Outcome &)>;
+
+template <typename Model>
+bool
+allows(const Model &m, const Probe &probe)
+{
+    auto r = exploreOutcomes(m);
+    EXPECT_FALSE(r.truncated);
+    for (const auto &o : r.outcomes)
+        if (probe(o))
+            return true;
+    return false;
+}
+
+/** Expected allow/forbid per machine for one shape. */
+struct Row
+{
+    Program prog;
+    Probe probe;
+    bool sc, wb, net, stale, def1, drf0;
+};
+
+void
+checkRow(const Row &row)
+{
+    const Program &p = row.prog;
+    EXPECT_EQ(allows(ScModel(p), row.probe), row.sc) << p.name() << " SC";
+    EXPECT_EQ(allows(WriteBufferModel(p), row.probe), row.wb)
+        << p.name() << " WB";
+    EXPECT_EQ(allows(NetworkReorderModel(p), row.probe), row.net)
+        << p.name() << " NET";
+    EXPECT_EQ(allows(StaleCacheModel(p), row.probe), row.stale)
+        << p.name() << " STALE";
+    EXPECT_EQ(allows(WoDef1Model(p), row.probe), row.def1)
+        << p.name() << " DEF1";
+    EXPECT_EQ(allows(WoDrf0Model(p), row.probe), row.drf0)
+        << p.name() << " DRF0";
+}
+
+TEST(LitmusMatrix, StoreBuffering)
+{
+    checkRow(Row{litmus::fig1StoreBuffer(),
+                 [](const Outcome &o) {
+                     return o.regs[0][0] == 0 && o.regs[1][0] == 0;
+                 },
+                 false, true, true, true, true, true});
+}
+
+TEST(LitmusMatrix, MessagePassing)
+{
+    checkRow(Row{litmus::messagePassing(),
+                 [](const Outcome &o) {
+                     return o.regs[1][0] == 1 && o.regs[1][1] == 0;
+                 },
+                 // The FIFO write buffer and the per-receiver-FIFO stale
+                 // cache preserve MP; the unordered pools and the network
+                 // do not.
+                 false, false, true, false, true, true});
+}
+
+TEST(LitmusMatrix, LoadBuffering)
+{
+    checkRow(Row{litmus::loadBuffering(),
+                 [](const Outcome &o) {
+                     return o.regs[0][0] == 1 && o.regs[1][1] == 1;
+                 },
+                 // Reads perform at issue on every machine here.
+                 false, false, false, false, false, false});
+}
+
+TEST(LitmusMatrix, WriteToReadCausality)
+{
+    checkRow(Row{litmus::wrc(),
+                 [](const Outcome &o) {
+                     return o.regs[1][0] == 1 && o.regs[2][1] == 1 &&
+                            o.regs[2][2] == 0;
+                 },
+                 // A value becomes readable only once globally reachable
+                 // (single memory / per-receiver FIFO), so causality
+                 // holds everywhere.
+                 false, false, false, false, false, false});
+}
+
+TEST(LitmusMatrix, TwoPlusTwoW)
+{
+    checkRow(Row{litmus::twoPlusTwoW(),
+                 [](const Outcome &o) {
+                     return o.memory[0] == 1 && o.memory[1] == 1;
+                 },
+                 // Needs cross-location write reordering: only the
+                 // network machine and the unordered pools provide it.
+                 false, false, true, false, true, true});
+}
+
+TEST(LitmusMatrix, SShape)
+{
+    checkRow(Row{litmus::sShape(),
+                 [](const Outcome &o) {
+                     return o.regs[1][0] == 1 && o.memory[0] == 2;
+                 },
+                 false, false, true, false, true, true});
+}
+
+TEST(LitmusMatrix, CoherenceWW)
+{
+    checkRow(Row{litmus::coWW(),
+                 [](const Outcome &o) { return o.memory[0] != 2; },
+                 // Per-location program order holds on every machine.
+                 false, false, false, false, false, false});
+}
+
+TEST(LitmusMatrix, CoherenceRR)
+{
+    checkRow(Row{litmus::coherenceCoRR(),
+                 [](const Outcome &o) {
+                     return o.regs[1][0] == 1 && o.regs[1][1] == 0;
+                 },
+                 false, false, false, false, false, false});
+}
+
+TEST(LitmusMatrix, Iriw)
+{
+    checkRow(Row{litmus::iriw(),
+                 [](const Outcome &o) {
+                     return o.regs[2][0] == 1 && o.regs[2][1] == 0 &&
+                            o.regs[3][0] == 1 && o.regs[3][1] == 0;
+                 },
+                 // Every machine here has a single serialization point
+                 // per write, so IRIW stays forbidden.
+                 false, false, false, false, false, false});
+}
+
+TEST(LitmusMatrix, EveryMachineContainsSc)
+{
+    for (const Program &p :
+         {litmus::fig1StoreBuffer(), litmus::messagePassing(),
+          litmus::loadBuffering(), litmus::wrc(), litmus::twoPlusTwoW(),
+          litmus::sShape(), litmus::iriw()}) {
+        auto sc = exploreOutcomes(ScModel(p));
+        EXPECT_TRUE(sc.subsetOf(exploreOutcomes(WriteBufferModel(p))))
+            << p.name();
+        EXPECT_TRUE(sc.subsetOf(exploreOutcomes(NetworkReorderModel(p))))
+            << p.name();
+        EXPECT_TRUE(sc.subsetOf(exploreOutcomes(StaleCacheModel(p))))
+            << p.name();
+        EXPECT_TRUE(sc.subsetOf(exploreOutcomes(WoDef1Model(p))))
+            << p.name();
+        EXPECT_TRUE(sc.subsetOf(exploreOutcomes(WoDrf0Model(p))))
+            << p.name();
+    }
+}
+
+} // namespace
+} // namespace wo

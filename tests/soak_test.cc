@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Randomized configuration soak: random DRF0 workloads x random system
+ * configurations (policy, stall mode, MESI, acks-first directory, miss
+ * throttle, MLP limit, network jitter) must always complete, satisfy the
+ * Section-5.1 conditions, and produce SC-explainable executions.
+ *
+ * The default run is sized for CI; set WO_SOAK_RUNS to soak longer, e.g.
+ *     WO_SOAK_RUNS=2000 ./soak_test
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/random.hh"
+#include "core/conditions.hh"
+#include "program/workload.hh"
+#include "sc/sc_checker.hh"
+#include "sys/system.hh"
+
+namespace wo {
+namespace {
+
+TEST(Soak, RandomConfigurationsStayCorrect)
+{
+    int runs = 60;
+    if (const char *env = std::getenv("WO_SOAK_RUNS"))
+        runs = std::atoi(env);
+    Rng rng(20260704);
+    int checked_sc = 0;
+    for (int run = 0; run < runs; ++run) {
+        Drf0WorkloadCfg wl;
+        wl.seed = rng.next();
+        wl.procs = static_cast<ProcId>(2 + rng.below(4));
+        wl.regions = static_cast<Addr>(1 + rng.below(3));
+        wl.locs_per_region = static_cast<Addr>(1 + rng.below(3));
+        wl.private_locs = static_cast<Addr>(rng.below(3));
+        wl.sections = static_cast<int>(1 + rng.below(4));
+        wl.ops_per_section = static_cast<int>(1 + rng.below(4));
+        wl.private_ops = static_cast<int>(rng.below(3));
+        wl.test_and_tas = rng.chance(1, 2);
+        Program p = randomDrf0Program(wl);
+
+        SystemCfg cfg;
+        const OrderingPolicy pols[] = {
+            OrderingPolicy::sc, OrderingPolicy::wo_def1,
+            OrderingPolicy::wo_drf0, OrderingPolicy::wo_drf0_ro};
+        cfg.policy = pols[rng.below(4)];
+        cfg.net.hop_latency = 1 + rng.below(30);
+        cfg.net.jitter = rng.below(12);
+        cfg.net.seed = rng.next();
+        cfg.cache.stall_mode = rng.chance(1, 2)
+                                   ? ReserveStallMode::nack
+                                   : ReserveStallMode::queue;
+        if (cfg.cache.stall_mode == ReserveStallMode::queue)
+            cfg.cache.reserved_miss_limit = 0; // the safe queue variant
+        cfg.cache.retry_delay = 5 + rng.below(40);
+        cfg.dir.grant_exclusive_clean = rng.chance(1, 2);
+        cfg.dir.forward_line_with_invs = rng.chance(3, 4);
+        cfg.cpu.max_outstanding = static_cast<int>(rng.below(5)); // 0..4
+
+        System sys(p, cfg);
+        auto r = sys.run();
+        std::string ctx = strprintf(
+            "run %d: %s policy=%s hop=%llu jitter=%llu stall=%s mesi=%d "
+            "acksfirst=%d mlp=%d",
+            run, p.name().c_str(), policyName(cfg.policy),
+            (unsigned long long)cfg.net.hop_latency,
+            (unsigned long long)cfg.net.jitter,
+            cfg.cache.stall_mode == ReserveStallMode::nack ? "nack"
+                                                           : "queue",
+            cfg.dir.grant_exclusive_clean,
+            !cfg.dir.forward_line_with_invs, cfg.cpu.max_outstanding);
+        ASSERT_TRUE(r.completed) << ctx;
+        auto audit = checkSufficientConditions(r);
+        EXPECT_TRUE(audit.ok)
+            << ctx << "\n"
+            << (audit.violations.empty()
+                    ? "?"
+                    : audit.violations[0].toString());
+        // SC-explainability checking is exponential; bound it and only
+        // count fully checked runs.
+        ScCheckerCfg sc_cfg;
+        sc_cfg.expected_final = r.outcome.memory;
+        sc_cfg.max_states = 2'000'000;
+        auto sc = checkSequentialConsistency(r.execution, sc_cfg);
+        if (!sc.exhausted) {
+            EXPECT_TRUE(sc.sc) << ctx << "\n" << r.execution.toString();
+            ++checked_sc;
+        }
+    }
+    EXPECT_GT(checked_sc, runs / 2)
+        << "most runs should be small enough to fully SC-check";
+}
+
+} // namespace
+} // namespace wo

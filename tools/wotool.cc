@@ -1,0 +1,366 @@
+/**
+ * @file
+ * wotool -- the command-line front end to the weak-ordering laboratory.
+ *
+ *     wotool check   <file> [--weak]
+ *         DRF0 verdict for an assembly program (--weak: the Section-6
+ *         refined synchronization model).
+ *
+ *     wotool explore <file> [--model sc|wb|net|stale|def1|drf0|drf0ro]
+ *         Exhaustive outcome set on an abstract machine.
+ *
+ *     wotool verify  <file> [--model ...]
+ *         Definition-2 conformance: is the machine's outcome set within
+ *         SC's for this program?
+ *
+ *     wotool run     <file> [--policy sc|def1|drf0|drf0ro] [--hop N]
+ *                    [--jitter N] [--seed N] [--trace]
+ *         Execute on the timed cache-coherent system; print the outcome,
+ *         timing and statistics.
+ *
+ *     wotool disasm  <file>
+ *         Parse and print back (normalizes labels/locations).
+ *
+ * See src/asm/assembler.hh for the input grammar.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "asm/assembler.hh"
+#include "core/drf0_checker.hh"
+#include "core/lockset.hh"
+#include "core/weak_ordering.hh"
+#include "execution/trace_io.hh"
+#include "hb/dot.hh"
+#include "hb/lemma1.hh"
+#include "hb/race.hh"
+#include "models/network_model.hh"
+#include "models/sc_model.hh"
+#include "models/stale_cache_model.hh"
+#include "models/wo_def1_model.hh"
+#include "models/wo_drf0_model.hh"
+#include "models/write_buffer_model.hh"
+#include "sc/sc_checker.hh"
+#include "sys/system.hh"
+
+namespace wo {
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: wotool <check|explore|verify|run|disasm> <file> "
+                 "[options]\n"
+                 "  check   [--weak]\n"
+                 "  explore [--model sc|wb|net|stale|def1|drf0|drf0ro]\n"
+                 "  verify  [--model wb|net|stale|def1|drf0|drf0ro]\n"
+                 "  run     [--policy sc|def1|drf0|drf0ro] [--hop N]\n"
+                 "          [--jitter N] [--seed N] [--trace] [--dot F]\n"
+                 "          [--save-trace F]\n"
+                 "  lockset\n"
+                 "  litmus   (evaluate the file's 'probe' condition on\n"
+                 "            every abstract machine)\n"
+                 "  disasm\n"
+                 "  analyze-trace  (file is a trace, not a program;\n"
+                 "                  SC check + race report + Lemma 1)\n");
+    return 2;
+}
+
+/** Tiny argv scanner: returns the value of --name, or nullptr. */
+const char *
+opt(int argc, char **argv, const char *name)
+{
+    for (int i = 3; i < argc - 1; ++i)
+        if (!std::strcmp(argv[i], name))
+            return argv[i + 1];
+    return nullptr;
+}
+
+bool
+flag(int argc, char **argv, const char *name)
+{
+    for (int i = 3; i < argc; ++i)
+        if (!std::strcmp(argv[i], name))
+            return true;
+    return false;
+}
+
+int
+cmdCheck(const Program &prog, int argc, char **argv)
+{
+    Drf0CheckerCfg cfg;
+    if (flag(argc, argv, "--weak"))
+        cfg.flavor = HbRelation::SyncFlavor::weak_sync_read;
+    auto v = checkDrf0(prog, cfg);
+    std::printf("%s: %s\n", prog.name().c_str(), v.toString().c_str());
+    if (!v.obeys && v.witness) {
+        std::printf("witness idealized execution:\n%s",
+                    v.witness->toString().c_str());
+        for (const auto &r : v.races)
+            std::printf("  %s\n", r.toString(*v.witness).c_str());
+    }
+    return v.obeys ? 0 : 1;
+}
+
+template <typename Fn>
+int
+withModel(const Program &prog, const char *model, Fn &&fn)
+{
+    std::string m = model ? model : "drf0";
+    if (m == "sc")
+        return fn(ScModel(prog));
+    if (m == "wb")
+        return fn(WriteBufferModel(prog));
+    if (m == "net")
+        return fn(NetworkReorderModel(prog));
+    if (m == "stale")
+        return fn(StaleCacheModel(prog));
+    if (m == "def1")
+        return fn(WoDef1Model(prog));
+    if (m == "drf0")
+        return fn(WoDrf0Model(prog));
+    if (m == "drf0ro")
+        return fn(WoDrf0Model(prog, 4, /*weak_sync_read=*/true));
+    std::fprintf(stderr, "unknown model '%s'\n", m.c_str());
+    return 2;
+}
+
+int
+cmdExplore(const Program &prog, int argc, char **argv)
+{
+    const char *witness = opt(argc, argv, "--witness");
+    return withModel(prog, opt(argc, argv, "--model"), [&](auto &&model) {
+        auto r = exploreOutcomes(model);
+        std::printf("%s on %s: %llu states, %zu outcome(s)%s%s\n",
+                    prog.name().c_str(), model.name(),
+                    static_cast<unsigned long long>(r.states),
+                    r.outcomes.size(), r.truncated ? " [truncated]" : "",
+                    r.stuck ? " [stuck states]" : "");
+        std::size_t idx = 0;
+        for (const auto &o : r.outcomes)
+            std::printf("  #%zu %s\n", idx++, o.toString().c_str());
+        if (witness) {
+            const std::size_t want = std::strtoull(witness, nullptr, 0);
+            if (want >= r.outcomes.size()) {
+                std::fprintf(stderr, "--witness %zu out of range\n", want);
+                return 2;
+            }
+            auto it = r.outcomes.begin();
+            std::advance(it, static_cast<std::ptrdiff_t>(want));
+            auto chain = witnessChain(model, *it);
+            std::printf("\nwitness chain for outcome #%zu (%zu states):\n",
+                        want, chain.size());
+            for (std::size_t k = 0; k < chain.size(); ++k) {
+                std::printf("--- state %zu ---\n%s", k,
+                            model.dump(chain[k]).c_str());
+            }
+        }
+        return 0;
+    });
+}
+
+int
+cmdVerify(const Program &prog, int argc, char **argv)
+{
+    return withModel(prog, opt(argc, argv, "--model"), [&](auto &&model) {
+        auto c = conformsForProgram(model, prog);
+        std::printf("%s on %s: %s\n", prog.name().c_str(), model.name(),
+                    c.toString().c_str());
+        return c.appears_sc ? 0 : 1;
+    });
+}
+
+int
+cmdRun(const Program &prog, int argc, char **argv)
+{
+    SystemCfg cfg;
+    const char *pol = opt(argc, argv, "--policy");
+    std::string p = pol ? pol : "drf0";
+    if (p == "sc")
+        cfg.policy = OrderingPolicy::sc;
+    else if (p == "def1")
+        cfg.policy = OrderingPolicy::wo_def1;
+    else if (p == "drf0")
+        cfg.policy = OrderingPolicy::wo_drf0;
+    else if (p == "drf0ro")
+        cfg.policy = OrderingPolicy::wo_drf0_ro;
+    else {
+        std::fprintf(stderr, "unknown policy '%s'\n", p.c_str());
+        return 2;
+    }
+    if (const char *v = opt(argc, argv, "--hop"))
+        cfg.net.hop_latency = std::strtoull(v, nullptr, 0);
+    if (const char *v = opt(argc, argv, "--jitter"))
+        cfg.net.jitter = std::strtoull(v, nullptr, 0);
+    if (const char *v = opt(argc, argv, "--seed"))
+        cfg.net.seed = std::strtoull(v, nullptr, 0);
+
+    System sys(prog, cfg);
+    auto r = sys.run();
+    std::printf("%s under %s: %s, finish tick %llu\n",
+                prog.name().c_str(), policyName(cfg.policy),
+                r.completed
+                    ? "completed"
+                    : (r.deadlocked ? "DEADLOCKED" : "LIVELOCKED"),
+                static_cast<unsigned long long>(r.finish_tick));
+    std::printf("outcome: %s\n", r.outcome.toString().c_str());
+    auto sc = checkSequentialConsistency(r.execution);
+    std::printf("execution is %sSC-explainable\n", sc.sc ? "" : "NOT ");
+    if (flag(argc, argv, "--trace")) {
+        std::printf("trace:\n%s", r.execution.toString().c_str());
+        std::printf("stats:\n%s", r.stats.c_str());
+    }
+    if (const char *path = opt(argc, argv, "--save-trace")) {
+        std::string text = traceToText(r.execution);
+        FILE *f = std::fopen(path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", path);
+            return 2;
+        }
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("wrote trace to %s\n", path);
+    }
+    if (const char *path = opt(argc, argv, "--dot")) {
+        DotCfg dc;
+        dc.title = prog.name() + " on " + policyName(cfg.policy);
+        std::string dot = executionToDot(r.execution, dc);
+        FILE *f = std::fopen(path, "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write '%s'\n", path);
+            return 2;
+        }
+        std::fwrite(dot.data(), 1, dot.size(), f);
+        std::fclose(f);
+        std::printf("wrote happens-before graph to %s\n", path);
+    }
+    return r.completed ? 0 : 1;
+}
+
+int
+cmdLitmus(const AsmResult &a)
+{
+    const Program &prog = *a.program;
+    if (a.probe.empty()) {
+        std::fprintf(stderr,
+                     "%s has no 'probe' directives to evaluate\n",
+                     prog.name().c_str());
+        return 2;
+    }
+    std::string cond;
+    for (const auto &t : a.probe)
+        cond += (cond.empty() ? "" : " & ") + t.toString();
+    std::printf("%s: probe %s\n", prog.name().c_str(), cond.c_str());
+
+    auto evaluate = [&](const char *label, auto &&model) {
+        auto r = exploreOutcomes(model);
+        bool allowed = false;
+        for (const auto &o : r.outcomes)
+            allowed = allowed || probeMatches(a.probe, o);
+        std::printf("  %-22s %s\n", label,
+                    allowed ? "ALLOWED" : "forbidden");
+        return allowed;
+    };
+    bool sc = evaluate("SC", ScModel(prog));
+    evaluate("write-buffer", WriteBufferModel(prog));
+    evaluate("general-network", NetworkReorderModel(prog));
+    evaluate("stale-cache", StaleCacheModel(prog));
+    evaluate("WO-Def1", WoDef1Model(prog));
+    evaluate("WO-DRF0", WoDrf0Model(prog));
+    evaluate("WO-DRF0+RO", WoDrf0Model(prog, 4, true));
+    return sc ? 0 : 1;
+}
+
+int
+cmdAnalyzeTrace(const char *path)
+{
+    TraceParseResult t = traceFromFile(path);
+    if (!t.ok()) {
+        for (const auto &e : t.errors)
+            std::fprintf(stderr, "%s: %s\n", path, e.toString().c_str());
+        return 2;
+    }
+    const Execution &e = *t.execution;
+    std::printf("trace: %u processors, %zu operations\n", e.numProcs(),
+                e.ops().size());
+    std::string why;
+    if (!e.valuesPlausible(&why))
+        std::printf("values: implausible (%s)\n", why.c_str());
+    auto sc = checkSequentialConsistency(e);
+    std::printf("SC-explainable: %s (%llu states searched)\n",
+                sc.sc ? "yes" : "NO",
+                static_cast<unsigned long long>(sc.states));
+    auto races = findRaces(e);
+    std::printf("races under DRF0 happens-before: %zu\n", races.size());
+    for (const auto &r : races)
+        std::printf("  %s\n", r.toString(e).c_str());
+    auto lemma = checkHbLastWrite(e);
+    std::printf("Lemma-1 (hb-last-write) witness: %s\n",
+                lemma.ok ? "holds" : "fails");
+    for (const auto &v : lemma.violations)
+        std::printf("  %s\n", v.toString(e).c_str());
+    return sc.sc ? 0 : 1;
+}
+
+int
+toolMain(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "analyze-trace")
+        return cmdAnalyzeTrace(argv[2]);
+    AsmResult a = assembleFile(argv[2]);
+    if (!a.ok()) {
+        for (const auto &e : a.errors)
+            std::fprintf(stderr, "%s: %s\n", argv[2],
+                         e.toString().c_str());
+        return 2;
+    }
+    const Program &prog = *a.program;
+    if (cmd == "litmus")
+        return cmdLitmus(a);
+    if (cmd == "check")
+        return cmdCheck(prog, argc, argv);
+    if (cmd == "explore")
+        return cmdExplore(prog, argc, argv);
+    if (cmd == "verify")
+        return cmdVerify(prog, argc, argv);
+    if (cmd == "run")
+        return cmdRun(prog, argc, argv);
+    if (cmd == "lockset") {
+        auto r = checkLockDiscipline(prog);
+        if (r.certified) {
+            std::printf("%s: CERTIFIED by the static monitor "
+                        "discipline\n",
+                        prog.name().c_str());
+            for (Addr a = 0; a < prog.numLocations(); ++a)
+                for (Addr l : r.protection[a])
+                    std::printf("  %s protected by %s\n",
+                                prog.locationName(a).c_str(),
+                                prog.locationName(l).c_str());
+            return 0;
+        }
+        std::printf("%s: not certified:\n", prog.name().c_str());
+        for (const auto &i : r.issues)
+            std::printf("  %s\n", i.toString(prog).c_str());
+        return 1;
+    }
+    if (cmd == "disasm") {
+        std::printf("%s", disassemble(prog).c_str());
+        return 0;
+    }
+    return usage();
+}
+
+} // namespace
+} // namespace wo
+
+int
+main(int argc, char **argv)
+{
+    return wo::toolMain(argc, argv);
+}
