@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/event_test[1]_include.cmake")
+include("/root/repo/build/tests/program_test[1]_include.cmake")
+include("/root/repo/build/tests/execution_test[1]_include.cmake")
+include("/root/repo/build/tests/hb_test[1]_include.cmake")
+include("/root/repo/build/tests/sc_test[1]_include.cmake")
+include("/root/repo/build/tests/models_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/coherence_test[1]_include.cmake")
+include("/root/repo/build/tests/sys_test[1]_include.cmake")
+include("/root/repo/build/tests/lemma1_test[1]_include.cmake")
+include("/root/repo/build/tests/asm_test[1]_include.cmake")
+include("/root/repo/build/tests/lockset_test[1]_include.cmake")
+include("/root/repo/build/tests/litmus_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/directory_test[1]_include.cmake")
+include("/root/repo/build/tests/dot_test[1]_include.cmake")
+include("/root/repo/build/tests/conditions_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/doall_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
