@@ -20,6 +20,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "obs/artifact.hh"
 #include "program/litmus.hh"
 #include "sys/system.hh"
 
@@ -58,7 +59,7 @@ run(const Program &p, OrderingPolicy pol)
     return s;
 }
 
-void
+Table
 spinTable(ProcId procs, int iters)
 {
     std::printf("== E6: %u processors x %d lock-protected increments ==\n",
@@ -93,9 +94,10 @@ spinTable(ProcId procs, int iters)
                 "(write) miss -- the serialization the paper worries "
                 "about; WO-DRF0+RO turns them into read misses/hits and "
                 "recovers the time.\n\n");
+    return t;
 }
 
-void
+Table
 barrierTable()
 {
     std::printf("== E6b: barrier spinning (paper: 'spinning on a barrier "
@@ -118,6 +120,7 @@ barrierTable()
     t.print();
     std::printf("Read: the release flag's spin-read traffic dominates as "
                 "processor count grows; the refinement removes it.\n");
+    return t;
 }
 
 } // namespace
@@ -126,8 +129,10 @@ barrierTable()
 int
 main()
 {
-    wo::spinTable(4, 2);
-    wo::spinTable(8, 1);
-    wo::barrierTable();
+    wo::Json payload = wo::Json::object();
+    payload.set("spin_4procs_2iters", wo::tableToJson(wo::spinTable(4, 2)));
+    payload.set("spin_8procs_1iter", wo::tableToJson(wo::spinTable(8, 1)));
+    payload.set("barrier", wo::tableToJson(wo::barrierTable()));
+    wo::writeBenchArtifact("bench_spinning", std::move(payload));
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "obs/artifact.hh"
 #include "models/explorer.hh"
 #include "models/network_model.hh"
 #include "models/sc_model.hh"
@@ -85,6 +86,10 @@ runFig1()
 
     std::printf("\nPaper's claim: every relaxed configuration admits the "
                 "both-killed outcome; SC does not.\n");
+
+    Json payload = Json::object();
+    payload.set("configurations", tableToJson(t));
+    writeBenchArtifact("fig1_configs", std::move(payload));
 }
 
 } // namespace

@@ -16,11 +16,12 @@
 #include "hb/closure.hh"
 #include "hb/fig2.hh"
 #include "hb/race.hh"
+#include "obs/artifact.hh"
 
 namespace wo {
 namespace {
 
-void
+Json
 report(const char *label, const Execution &e)
 {
     std::printf("\n== E2 / Figure 2(%s) ==\n", label);
@@ -44,6 +45,19 @@ report(const char *label, const Execution &e)
         for (const auto &r : races)
             std::printf("  %s\n", r.toString(e).c_str());
     }
+
+    Json j = Json::object();
+    j.set("execution", Json(label));
+    j.set("po_edges", Json(static_cast<std::uint64_t>(
+                               closure.poEdges().size())));
+    j.set("so_edges", Json(static_cast<std::uint64_t>(
+                               closure.soEdges().size())));
+    j.set("obeys_drf0", Json(races.empty()));
+    Json rl = Json::array();
+    for (const auto &r : races)
+        rl.push(Json(r.toString(e)));
+    j.set("races", std::move(rl));
+    return j;
 }
 
 } // namespace
@@ -52,9 +66,13 @@ report(const char *label, const Execution &e)
 int
 main()
 {
-    wo::report("a", wo::fig2::executionA());
-    wo::report("b", wo::fig2::executionB());
+    wo::Json executions = wo::Json::array();
+    executions.push(wo::report("a", wo::fig2::executionA()));
+    executions.push(wo::report("b", wo::fig2::executionB()));
     std::printf("\nPaper's claim: (a) obeys DRF0; (b) violates it through "
                 "P0-vs-P1 on y and P2-vs-P4 on z.\n");
+    wo::Json payload = wo::Json::object();
+    payload.set("executions", std::move(executions));
+    wo::writeBenchArtifact("fig2_drf0", std::move(payload));
     return 0;
 }

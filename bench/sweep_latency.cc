@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "obs/artifact.hh"
 #include "program/workload.hh"
 #include "sys/system.hh"
 
@@ -69,6 +70,10 @@ sweep()
                 "column is Definition 1's time over the new "
                 "implementation's (>1.0 means the new implementation "
                 "wins).\n");
+
+    Json payload = Json::object();
+    payload.set("hop_sweep", tableToJson(t));
+    writeBenchArtifact("sweep_latency", std::move(payload));
 }
 
 } // namespace

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "obs/artifact.hh"
 #include "program/workload.hh"
 #include "sys/system.hh"
 
@@ -61,6 +62,10 @@ sweep()
     std::printf("Read: with one MSHR all policies serialize misses "
                 "identically; the weak policies convert extra MSHRs into "
                 "overlap, SC cannot.\n");
+
+    Json payload = Json::object();
+    payload.set("mshr_sweep", tableToJson(t));
+    writeBenchArtifact("sweep_mlp", std::move(payload));
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "obs/artifact.hh"
 #include "program/litmus.hh"
 #include "program/workload.hh"
 #include "sys/system.hh"
@@ -30,7 +31,7 @@ run(const Program &p, OrderingPolicy pol)
     return r.completed ? r.finish_tick : 0;
 }
 
-void
+Table
 contended()
 {
     std::printf("== E13a: one contended lock, 2 increments per processor "
@@ -52,9 +53,10 @@ contended()
     }
     t.print();
     std::printf("\n");
+    return t;
 }
 
-void
+Table
 partitioned()
 {
     std::printf("== E13b: partitioned workload (one lock per region, one "
@@ -84,6 +86,7 @@ partitioned()
     std::printf("Read: with little lock contention the weak designs' "
                 "advantage persists as processors scale; under heavy "
                 "contention the lock itself dominates every design.\n");
+    return t;
 }
 
 } // namespace
@@ -92,7 +95,9 @@ partitioned()
 int
 main()
 {
-    wo::contended();
-    wo::partitioned();
+    wo::Json payload = wo::Json::object();
+    payload.set("contended", wo::tableToJson(wo::contended()));
+    payload.set("partitioned", wo::tableToJson(wo::partitioned()));
+    wo::writeBenchArtifact("sweep_procs", std::move(payload));
     return 0;
 }

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
+#include "obs/artifact.hh"
 #include "program/workload.hh"
 #include "sys/system.hh"
 
@@ -56,6 +57,10 @@ sweep()
     std::printf("Read: at 0%% sync the weak machines overlap everything; "
                 "at 100%% every access synchronizes and the designs "
                 "converge.\n");
+
+    Json payload = Json::object();
+    payload.set("sync_ratio_sweep", tableToJson(t));
+    writeBenchArtifact("sweep_syncratio", std::move(payload));
 }
 
 } // namespace

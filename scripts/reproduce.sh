@@ -5,8 +5,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+# Prefer Ninja when available, else whatever CMake defaults to (Makefiles).
+if command -v ninja >/dev/null 2>&1; then
+    cmake -B build -G Ninja
+else
+    cmake -B build
+fi
+cmake --build build -j "$(nproc 2>/dev/null || echo 4)"
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 

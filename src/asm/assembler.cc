@@ -73,6 +73,19 @@ class Assembler
             b.initLocation(addr, v);
         result.program = b.build();
         result.probe = probe_;
+        result.warm = warm_;
+        for (const auto &w : result.warm) {
+            for (ProcId p : w.procs) {
+                if (p >= result.program->numThreads()) {
+                    result.errors.push_back(AsmError{
+                        0, strprintf("warm thread %u out of range", p)});
+                }
+            }
+            if (w.addr >= result.program->numLocations()) {
+                result.errors.push_back(AsmError{
+                    0, strprintf("warm location %u out of range", w.addr)});
+            }
+        }
         // A probe addressing a thread or location outside the program is
         // a user error worth flagging here rather than at match time.
         for (const auto &t : result.probe) {
@@ -236,6 +249,22 @@ class Assembler
             inits_.emplace_back(location(toks[1]), v);
             return;
         }
+        if (op == "warm") {
+            if (toks.size() < 3)
+                return error("usage: warm <loc> <thread>...");
+            WarmTerm w;
+            w.addr = location(toks[1]);
+            for (std::size_t i = 2; i < toks.size(); ++i) {
+                Value n;
+                if (!parseImm(toks[i], n))
+                    return;
+                if (n < 0 || n > 255)
+                    return error("warm thread index out of range");
+                w.procs.push_back(static_cast<ProcId>(n));
+            }
+            warm_.push_back(std::move(w));
+            return;
+        }
         if (op == "thread") {
             if (toks.size() != 2)
                 return error("usage: thread <n>");
@@ -388,6 +417,7 @@ class Assembler
     Addr next_loc_ = 0;
     std::vector<std::pair<Addr, Value>> inits_;
     std::vector<ProbeTerm> probe_;
+    std::vector<WarmTerm> warm_;
     std::vector<AsmError> errors_;
 };
 

@@ -8,6 +8,11 @@
  *
  *     program <name>             -- optional, first non-comment line
  *     init <loc> <value>         -- initial value of a location
+ *     warm <loc> <n>...          -- pre-install loc (initial value) as a
+ *                                   shared line in the caches of the
+ *                                   listed threads before a timed run
+ *                                   (Figure 1's "initially in the cache";
+ *                                   abstract models ignore it)
  *     probe <n> <reg> <value>    -- litmus condition term: thread n's
  *                                   final reg equals value (terms conjoin)
  *     probe mem <loc> <value>    -- ... or a final-memory term
@@ -69,11 +74,19 @@ struct ProbeTerm
     std::string toString() const;
 };
 
+/** A 'warm' directive: pre-share a line in the listed threads' caches. */
+struct WarmTerm
+{
+    Addr addr = 0;
+    std::vector<ProcId> procs;
+};
+
 /** Result of assembling a source text. */
 struct AsmResult
 {
     std::optional<Program> program;
     std::vector<ProbeTerm> probe; //!< litmus condition (conjunction)
+    std::vector<WarmTerm> warm;   //!< timed-run cache warm-up
     std::vector<AsmError> errors;
 
     bool ok() const { return program.has_value() && errors.empty(); }

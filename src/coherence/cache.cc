@@ -1,6 +1,7 @@
 #include "cache.hh"
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace wo {
 
@@ -145,6 +146,8 @@ Cache::sendMiss(const CacheReq &req, bool exclusive)
     ++counter_;
     ++misses_in_flight_;
     stats_.counter(exclusive ? "write_misses" : "read_misses").inc();
+    if (Obs *obs = eq_.obs())
+        obs->reqMiss(id_, req.id);
 
     Message msg;
     msg.type = exclusive ? MsgType::get_x : MsgType::get_s;
@@ -218,6 +221,10 @@ Cache::serveForward(const Message &msg)
     }
     if (mustStall(msg)) {
         stats_.counter("reserve_stalls").inc();
+        // The requester's pending miss is now reserve-blocked; let the
+        // profiler attribute that processor's wait to the reserve bit.
+        if (Obs *obs = eq_.obs())
+            obs->reserveHold(msg.requester, msg.addr);
         if (cfg_.stall_mode == ReserveStallMode::queue) {
             stalled_.push_back(msg);
         } else {
@@ -362,6 +369,8 @@ Cache::handleNack(const Message &msg)
               msg.addr, id_);
     Mshr &m = it->second;
     stats_.counter("nacks").inc();
+    if (Obs *obs = eq_.obs())
+        obs->reqNack(id_, m.req.id);
     // The miss failed for now: it no longer counts as outstanding, which
     // lets this processor's own reserve bits clear (avoiding the crossed
     // release/acquire deadlock); retry after a backoff.

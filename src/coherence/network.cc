@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace wo {
 
@@ -42,6 +43,9 @@ Network::send(Message msg)
         delay += rng_.below(cfg_.jitter + 1);
     const Tick when =
         nextDepartureSlot(msg.src, msg.dst, eq_.now() + delay);
+    if (Obs *obs = eq_.obs())
+        obs->message(eq_.now(), when, msg.src, msg.dst,
+                     msgTypeName(msg.type), msg.addr, msg.is_sync);
     MsgHandler *handler = handlers_[msg.dst];
     eq_.scheduleAt(when, msg.toString(),
                    [handler, msg] { handler->receive(msg); });

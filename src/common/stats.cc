@@ -30,7 +30,7 @@ Histogram::percentile(double p) const
 {
     if (samples_.empty())
         return 0;
-    wo_assert(p >= 0.0 && p <= 100.0, "percentile out of range: %f", p);
+    p = std::clamp(p, 0.0, 100.0);
     if (!sorted_) {
         std::sort(samples_.begin(), samples_.end());
         sorted_ = true;

@@ -63,9 +63,12 @@ class Histogram
     std::uint64_t min() const { return count_ ? min_ : 0; }
 
     /**
-     * Approximate p-th percentile (p in [0,100]) computed from the stored
+     * The p-th percentile (nearest-rank) computed from the stored
      * samples.  The full sample vector is retained; simulations here are
      * small enough that exactness beats a sketch.
+     *
+     * Contract: 0 when empty; @p p is clamped to [0,100];
+     * percentile(0) == min() and percentile(100) == max().
      */
     std::uint64_t percentile(double p) const;
 
@@ -100,7 +103,14 @@ class StatGroup
     /** Reset every statistic in the group. */
     void resetAll();
 
-    /** Render all statistics as "group.stat value" lines. */
+    /**
+     * Render all statistics as "group.stat value" lines.
+     *
+     * Contract: the output is order-stable — statistics appear sorted by
+     * name (counters first, then histograms), independent of creation
+     * order, so dumps diff cleanly across runs and golden files can rely
+     * on line order.
+     */
     std::string dump() const;
 
     /** Read access for formatters. */

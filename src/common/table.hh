@@ -26,6 +26,15 @@ class Table
     /** Convenience: format heterogeneous cells with strprintf upstream. */
     std::size_t columns() const { return headers_.size(); }
 
+    /** Header cells, in column order. */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Body rows, in insertion order. */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Render the table, ending with a newline. */
     std::string render() const;
 

@@ -1,6 +1,7 @@
 #include "event_queue.hh"
 
 #include "common/logging.hh"
+#include "obs/obs.hh"
 
 namespace wo {
 
@@ -30,6 +31,8 @@ EventQueue::step()
     now_ = ev.when;
     verbose("t=%llu event %s", static_cast<unsigned long long>(now_),
             ev.label.c_str());
+    if (obs_)
+        obs_->queueFire(now_, ev.label);
     ++executed_;
     ev.fn();
     return true;

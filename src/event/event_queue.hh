@@ -21,6 +21,8 @@
 
 namespace wo {
 
+class Obs;
+
 /** A scheduled callback with a firing time and a debugging label. */
 struct Event
 {
@@ -44,6 +46,17 @@ class EventQueue
 
     /** Current simulated time. */
     Tick now() const { return now_; }
+
+    /**
+     * Attach the observability hub.  Every timed component holds the
+     * event queue, so the queue doubles as the hub's distribution
+     * point; a null hub (the default) disables all instrumentation.
+     * The hub must outlive the queue drain.
+     */
+    void setObs(Obs *obs) { obs_ = obs; }
+
+    /** The attached observability hub, or nullptr. */
+    Obs *obs() const { return obs_; }
 
     /**
      * Schedule @p fn to run @p delay ticks from now.
@@ -96,6 +109,7 @@ class EventQueue
     };
 
     Tick now_ = 0;
+    Obs *obs_ = nullptr;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
     std::priority_queue<Event, std::vector<Event>, Later> pq_;

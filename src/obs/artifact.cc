@@ -1,0 +1,57 @@
+#include "artifact.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace wo {
+
+Json
+tableToJson(const Table &table)
+{
+    Json rows = Json::array();
+    for (const auto &row : table.rows()) {
+        Json obj = Json::object();
+        for (std::size_t c = 0;
+             c < row.size() && c < table.headers().size(); ++c)
+            obj.set(table.headers()[c], Json(row[c]));
+        rows.push(std::move(obj));
+    }
+    return rows;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    const bool ok = n == text.size() && std::fclose(f) == 0;
+    if (!ok && n == text.size())
+        return false;
+    return ok;
+}
+
+std::string
+writeBenchArtifact(const std::string &name, Json payload)
+{
+    if (!payload.isObject()) {
+        Json wrapped = Json::object();
+        wrapped.set("value", std::move(payload));
+        payload = std::move(wrapped);
+    }
+    Json out = Json::object();
+    out.set("bench", name);
+    for (const auto &m : payload.members())
+        out.set(m.first, m.second);
+    const std::string path = "BENCH_" + name + ".json";
+    if (!writeFile(path, out.dump(1) + "\n")) {
+        warn("cannot write bench artifact '%s'", path.c_str());
+        return "";
+    }
+    return path;
+}
+
+} // namespace wo

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Machine-readable benchmark artifacts.
+ *
+ * Every bench binary prints human-readable tables and, through this
+ * helper, drops a `BENCH_<name>.json` file in the working directory so
+ * the experiment trajectory can be tracked across commits without
+ * scraping stdout.  The schema is a top-level object with "bench" and
+ * whatever structured payload the experiment adds.
+ */
+
+#ifndef WO_OBS_ARTIFACT_HH
+#define WO_OBS_ARTIFACT_HH
+
+#include <string>
+
+#include "obs/json.hh"
+
+namespace wo {
+
+class Table;
+
+/**
+ * A table rendered as a JSON array: one object per row, keyed by the
+ * column headers (cell text verbatim).  The bridge from the benches'
+ * printed tables to their machine-readable artifacts.
+ */
+Json tableToJson(const Table &table);
+
+/**
+ * Write @p payload as BENCH_<name>.json in the current directory.
+ * A "bench" member with @p name is added to the payload.  Returns the
+ * path written, or an empty string on I/O failure (a warning is
+ * printed; benches should not fail a run over an artifact).
+ */
+std::string writeBenchArtifact(const std::string &name, Json payload);
+
+/** Write @p text to @p path; true on success. */
+bool writeFile(const std::string &path, const std::string &text);
+
+} // namespace wo
+
+#endif // WO_OBS_ARTIFACT_HH

@@ -1,0 +1,59 @@
+#include "metrics.hh"
+
+namespace wo {
+
+Json
+histogramToJson(const Histogram &h)
+{
+    Json j = Json::object();
+    j.set("count", h.count());
+    j.set("sum", h.sum());
+    j.set("mean", h.mean());
+    j.set("min", h.min());
+    j.set("max", h.max());
+    j.set("p50", h.percentile(50));
+    j.set("p99", h.percentile(99));
+    return j;
+}
+
+Json *
+MetricsRegistry::slot(const std::string &path)
+{
+    Json *node = &root_;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = path.find('.', start);
+        const std::string part = path.substr(
+            start, dot == std::string::npos ? std::string::npos
+                                            : dot - start);
+        Json *child = node->find(part);
+        if (!child) {
+            node->set(part, Json::object());
+            child = node->find(part);
+        }
+        node = child;
+        if (dot == std::string::npos)
+            return node;
+        start = dot + 1;
+    }
+}
+
+void
+MetricsRegistry::addGroup(const std::string &path, const StatGroup &g)
+{
+    Json *node = slot(path);
+    if (!node->isObject())
+        *node = Json::object();
+    for (const auto &kv : g.counters())
+        node->set(kv.first, kv.second.value());
+    for (const auto &kv : g.histograms())
+        node->set(kv.first, histogramToJson(kv.second));
+}
+
+void
+MetricsRegistry::set(const std::string &path, Json value)
+{
+    *slot(path) = std::move(value);
+}
+
+} // namespace wo

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The metrics registry: one hierarchical, machine-readable namespace
+ * over every StatGroup in the system.
+ *
+ * The timed components each own a StatGroup ("cpu0", "cache1", "dir",
+ * "net", "cpu0.stall", ...).  The registry mounts them at dotted paths
+ * and renders the whole tree as JSON, so benches and external tooling
+ * consume one `wotool run --stats-json` artifact instead of scraping
+ * text dumps.  Scalars (run metadata: policy, finish tick, ...) mount
+ * at dotted paths the same way.
+ *
+ * JSON schema: each dotted path component becomes a nested object; a
+ * StatGroup contributes its counters as integer members and each
+ * histogram as an object {count,sum,mean,min,max,p50,p99}.
+ */
+
+#ifndef WO_OBS_METRICS_HH
+#define WO_OBS_METRICS_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "obs/json.hh"
+
+namespace wo {
+
+/** Builds the unified metrics tree; cheap to construct per run. */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry() : root_(Json::object()) {}
+
+    /**
+     * Mount every statistic of @p g under dotted @p path (for example
+     * path "cpu0.stall" puts counter "total" at cpu0.stall.total).
+     */
+    void addGroup(const std::string &path, const StatGroup &g);
+
+    /** Mount one scalar value at dotted @p path. */
+    void set(const std::string &path, Json value);
+
+    /** The assembled tree. */
+    const Json &json() const { return root_; }
+
+    /** Render the tree (pretty-printed when @p indent > 0). */
+    std::string dump(int indent = 1) const { return root_.dump(indent); }
+
+  private:
+    /** Walk/create the object spine for @p path; returns the leaf slot. */
+    Json *slot(const std::string &path);
+
+    Json root_;
+};
+
+/** One histogram rendered to the schema above. */
+Json histogramToJson(const Histogram &h);
+
+} // namespace wo
+
+#endif // WO_OBS_METRICS_HH

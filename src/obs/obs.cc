@@ -1,0 +1,377 @@
+#include "obs.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+const char *
+stallBucketName(StallBucket b)
+{
+    switch (b) {
+      case StallBucket::reserve_wait:
+        return "reserve_wait";
+      case StallBucket::counter_drain:
+        return "counter_drain";
+      case StallBucket::mlp_limit:
+        return "mlp_limit";
+      case StallBucket::cache_miss:
+        return "cache_miss";
+      case StallBucket::network:
+        return "network";
+      case StallBucket::hit_latency:
+        return "hit_latency";
+    }
+    return "?";
+}
+
+const char *
+opSideName(OpSide s)
+{
+    switch (s) {
+      case OpSide::data:
+        return "data";
+      case OpSide::release:
+        return "release";
+      case OpSide::acquire:
+        return "acquire";
+    }
+    return "?";
+}
+
+Obs::Obs(ProcId nprocs) : nprocs_(nprocs)
+{
+    stall_groups_.reserve(nprocs);
+    for (ProcId p = 0; p < nprocs; ++p) {
+        stall_groups_.emplace_back(strprintf("cpu%u.stall", p));
+        // Pre-create every bucket plus the summaries so each dump has
+        // the full schema and buckets provably sum to the total even
+        // when a bucket never fires.
+        StatGroup &g = stall_groups_.back();
+        for (int b = 0; b < num_stall_buckets; ++b)
+            g.counter(stallBucketName(static_cast<StallBucket>(b)));
+        g.counter("total");
+        g.counter("data");
+        g.counter("release");
+        g.counter("acquire");
+    }
+}
+
+void
+Obs::enableTrace(bool queue_events)
+{
+    trace_enabled_ = true;
+    trace_queue_events_ = queue_events;
+}
+
+void
+Obs::raw(Json line)
+{
+    jsonl_.push_back(line.dump(0));
+}
+
+void
+Obs::chrome(Json ev)
+{
+    chrome_events_.push_back(std::move(ev));
+}
+
+Json
+Obs::completeEvent(const std::string &name, std::uint64_t tid, Tick start,
+                   Tick end) const
+{
+    Json ev = Json::object();
+    ev.set("name", name);
+    ev.set("ph", "X");
+    ev.set("ts", start);
+    ev.set("dur", end - start);
+    ev.set("pid", std::uint64_t{0});
+    ev.set("tid", tid);
+    return ev;
+}
+
+void
+Obs::queueFire(Tick now, const std::string &label)
+{
+    if (!trace_enabled_ || !trace_queue_events_)
+        return;
+    Json r = Json::object();
+    r.set("t", now);
+    r.set("ev", "fire");
+    r.set("label", label);
+    raw(std::move(r));
+
+    Json ev = Json::object();
+    ev.set("name", label);
+    ev.set("ph", "i");
+    ev.set("ts", now);
+    ev.set("pid", std::uint64_t{0});
+    ev.set("tid", std::uint64_t{2u * nprocs_ + 1});
+    ev.set("s", "t");
+    chrome(std::move(ev));
+}
+
+void
+Obs::message(Tick sent, Tick deliver, unsigned src, unsigned dst,
+             const char *type, Addr addr, bool is_sync)
+{
+    if (!trace_enabled_)
+        return;
+    Json r = Json::object();
+    r.set("t", sent);
+    r.set("ev", "msg");
+    r.set("type", type);
+    r.set("src", std::uint64_t{src});
+    r.set("dst", std::uint64_t{dst});
+    if (addr != invalid_addr)
+        r.set("addr", std::uint64_t{addr});
+    r.set("deliver", deliver);
+    if (is_sync)
+        r.set("sync", true);
+    raw(std::move(r));
+
+    Json ev = completeEvent(strprintf("%s %u>%u", type, src, dst),
+                            2u * nprocs_, sent, deliver);
+    Json args = Json::object();
+    args.set("addr", std::uint64_t{addr});
+    args.set("sync", is_sync);
+    ev.set("args", std::move(args));
+    chrome(std::move(ev));
+}
+
+void
+Obs::opIssue(ProcId p, std::uint64_t req, const char *kind, Addr addr,
+             Pc pc, Tick reached, Tick issued)
+{
+    LiveOp op;
+    op.kind = kind;
+    op.addr = addr;
+    op.pc = pc;
+    op.reached = reached;
+    op.issued = issued;
+    live_[{p, req}] = std::move(op);
+    if (!trace_enabled_)
+        return;
+    Json r = Json::object();
+    r.set("t", issued);
+    r.set("ev", "issue");
+    r.set("cpu", std::uint64_t{p});
+    r.set("req", req);
+    r.set("kind", kind);
+    r.set("addr", std::uint64_t{addr});
+    r.set("pc", std::uint64_t{pc});
+    r.set("reached", reached);
+    raw(std::move(r));
+}
+
+void
+Obs::opCommit(ProcId p, std::uint64_t req, Tick now)
+{
+    auto it = live_.find({p, req});
+    if (it != live_.end()) {
+        it->second.committed = now;
+        it->second.has_committed = true;
+    }
+    if (!trace_enabled_)
+        return;
+    Json r = Json::object();
+    r.set("t", now);
+    r.set("ev", "commit");
+    r.set("cpu", std::uint64_t{p});
+    r.set("req", req);
+    raw(std::move(r));
+}
+
+void
+Obs::opPerform(ProcId p, std::uint64_t req, Tick now)
+{
+    auto it = live_.find({p, req});
+    if (it != live_.end()) {
+        if (trace_enabled_) {
+            const LiveOp &op = it->second;
+            Json ev = completeEvent(
+                strprintf("%s a%u", op.kind.c_str(), op.addr), 2u * p,
+                op.issued, now);
+            Json args = Json::object();
+            args.set("req", req);
+            args.set("pc", std::uint64_t{op.pc});
+            args.set("addr", std::uint64_t{op.addr});
+            args.set("reached", op.reached);
+            args.set("issued", op.issued);
+            if (op.has_committed)
+                args.set("committed", op.committed);
+            args.set("performed", now);
+            ev.set("args", std::move(args));
+            chrome(std::move(ev));
+        }
+        live_.erase(it);
+    }
+    facts_.erase({p, req});
+    if (!trace_enabled_)
+        return;
+    Json r = Json::object();
+    r.set("t", now);
+    r.set("ev", "perform");
+    r.set("cpu", std::uint64_t{p});
+    r.set("req", req);
+    raw(std::move(r));
+}
+
+void
+Obs::opRetire(ProcId p, std::uint64_t req, Tick now)
+{
+    if (!trace_enabled_)
+        return;
+    Json r = Json::object();
+    r.set("t", now);
+    r.set("ev", "retire");
+    r.set("cpu", std::uint64_t{p});
+    r.set("req", req);
+    raw(std::move(r));
+}
+
+void
+Obs::reqMiss(ProcId p, std::uint64_t req)
+{
+    facts_[{p, req}].missed = true;
+}
+
+void
+Obs::reqNack(ProcId p, std::uint64_t req)
+{
+    facts_[{p, req}].nacked = true;
+}
+
+void
+Obs::reserveHold(ProcId requester, Addr addr)
+{
+    reserve_held_[{requester, addr}] = true;
+}
+
+StallBucket
+Obs::classify(ProcId p, std::uint64_t req, Addr addr, StallPhase phase)
+{
+    switch (phase) {
+      case StallPhase::issue_counter:
+        return StallBucket::counter_drain;
+      case StallPhase::issue_mlp:
+        return StallBucket::mlp_limit;
+      case StallPhase::perform_wait:
+        return StallBucket::network;
+      case StallPhase::commit_wait:
+        break;
+    }
+    auto f = facts_.find({p, req});
+    auto h = reserve_held_.find({p, addr});
+    const bool held = h != reserve_held_.end();
+    if (held)
+        reserve_held_.erase(h);
+    if ((f != facts_.end() && f->second.nacked) || held)
+        return StallBucket::reserve_wait;
+    if (f != facts_.end() && f->second.missed)
+        return StallBucket::cache_miss;
+    return StallBucket::hit_latency;
+}
+
+void
+Obs::stall(ProcId p, std::uint64_t req, Addr addr, StallPhase phase,
+           OpSide side, Tick from, Tick to)
+{
+    if (to <= from)
+        return;
+    wo_assert(p < stall_groups_.size(), "stall for unknown cpu %u", p);
+    const StallBucket bucket = classify(p, req, addr, phase);
+    const Tick cycles = to - from;
+    StatGroup &g = stall_groups_[p];
+    g.counter(stallBucketName(bucket)).inc(cycles);
+    g.counter("total").inc(cycles);
+    g.counter(opSideName(side)).inc(cycles);
+
+    if (!trace_enabled_)
+        return;
+    Json r = Json::object();
+    r.set("t", from);
+    r.set("ev", "stall");
+    r.set("cpu", std::uint64_t{p});
+    r.set("req", req);
+    r.set("bucket", stallBucketName(bucket));
+    r.set("side", opSideName(side));
+    r.set("cycles", cycles);
+    raw(std::move(r));
+
+    Json ev = completeEvent(
+        strprintf("stall:%s", stallBucketName(bucket)), 2u * p + 1, from,
+        to);
+    Json args = Json::object();
+    args.set("side", opSideName(side));
+    args.set("req", req);
+    ev.set("args", std::move(args));
+    chrome(std::move(ev));
+}
+
+const StatGroup &
+Obs::stallStats(ProcId p) const
+{
+    wo_assert(p < stall_groups_.size(), "no stall stats for cpu %u", p);
+    return stall_groups_[p];
+}
+
+std::vector<const StatGroup *>
+Obs::stallGroups() const
+{
+    std::vector<const StatGroup *> out;
+    out.reserve(stall_groups_.size());
+    for (const auto &g : stall_groups_)
+        out.push_back(&g);
+    return out;
+}
+
+std::string
+Obs::chromeTraceJson() const
+{
+    Json root = Json::object();
+    Json events = Json::array();
+
+    // Named lanes so Perfetto shows "cpu0", "cpu0 stalls", "network",
+    // "event kernel" instead of bare tids.
+    auto thread_name = [](std::uint64_t tid, const std::string &name) {
+        Json ev = Json::object();
+        ev.set("name", "thread_name");
+        ev.set("ph", "M");
+        ev.set("pid", std::uint64_t{0});
+        ev.set("tid", tid);
+        Json args = Json::object();
+        args.set("name", name);
+        ev.set("args", std::move(args));
+        return ev;
+    };
+    for (ProcId p = 0; p < nprocs_; ++p) {
+        events.push(thread_name(2u * p, strprintf("cpu%u ops", p)));
+        events.push(thread_name(2u * p + 1, strprintf("cpu%u stalls", p)));
+    }
+    events.push(thread_name(2u * nprocs_, "network"));
+    if (trace_queue_events_)
+        events.push(thread_name(2u * nprocs_ + 1, "event kernel"));
+
+    for (const Json &ev : chrome_events_)
+        events.push(ev);
+    root.set("traceEvents", std::move(events));
+    root.set("displayTimeUnit", "ns");
+    Json other = Json::object();
+    other.set("source", "wotool");
+    other.set("unfinished_ops", std::uint64_t{live_.size()});
+    root.set("otherData", std::move(other));
+    return root.dump(1);
+}
+
+std::string
+Obs::traceJsonl() const
+{
+    std::string out;
+    for (const std::string &line : jsonl_) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace wo

@@ -1,0 +1,77 @@
+#include "validate.hh"
+
+#include "common/logging.hh"
+#include "obs/json.hh"
+
+namespace wo {
+
+TraceValidation
+validateChromeTrace(const std::string &text)
+{
+    TraceValidation v;
+    auto parsed = jsonParse(text);
+    if (!parsed.ok) {
+        v.error = strprintf("not valid JSON at offset %zu: %s",
+                            parsed.offset, parsed.error.c_str());
+        return v;
+    }
+    if (!parsed.value.isObject()) {
+        v.error = "top level is not an object";
+        return v;
+    }
+    const Json *events = parsed.value.find("traceEvents");
+    if (!events || !events->isArray()) {
+        v.error = "missing traceEvents array";
+        return v;
+    }
+    for (const Json &ev : events->items()) {
+        ++v.events;
+        if (!ev.isObject()) {
+            v.error = strprintf("event %llu is not an object",
+                                static_cast<unsigned long long>(v.events));
+            return v;
+        }
+        const Json *ph = ev.find("ph");
+        const Json *name = ev.find("name");
+        if (!ph || !ph->isString() || !name || !name->isString()) {
+            v.error = strprintf("event %llu lacks string ph/name",
+                                static_cast<unsigned long long>(v.events));
+            return v;
+        }
+        const std::string &phase = ph->stringValue();
+        if (phase == "M") {
+            ++v.metadata;
+            continue;
+        }
+        const Json *ts = ev.find("ts");
+        const Json *pid = ev.find("pid");
+        const Json *tid = ev.find("tid");
+        if (!ts || !ts->isNumber() || !pid || !pid->isNumber() || !tid ||
+            !tid->isNumber()) {
+            v.error = strprintf("event %llu lacks numeric ts/pid/tid",
+                                static_cast<unsigned long long>(v.events));
+            return v;
+        }
+        if (phase == "X") {
+            ++v.complete;
+            const Json *dur = ev.find("dur");
+            if (!dur || !dur->isNumber() || dur->numberValue() < 0) {
+                v.error = strprintf(
+                    "complete event %llu lacks non-negative dur",
+                    static_cast<unsigned long long>(v.events));
+                return v;
+            }
+        } else if (phase == "i") {
+            ++v.instants;
+        } else {
+            v.error = strprintf("event %llu has unknown phase '%s'",
+                                static_cast<unsigned long long>(v.events),
+                                phase.c_str());
+            return v;
+        }
+    }
+    v.ok = true;
+    return v;
+}
+
+} // namespace wo

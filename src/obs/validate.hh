@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Structural validator for the Chrome trace-event JSON the trace sink
+ * emits.  Used by the test suite to prove exported traces round-trip
+ * (write -> parse -> check) and available to tooling that wants to
+ * sanity-check a trace file before shipping it to Perfetto.
+ */
+
+#ifndef WO_OBS_VALIDATE_HH
+#define WO_OBS_VALIDATE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace wo {
+
+/** Outcome of validating a Chrome trace-event document. */
+struct TraceValidation
+{
+    bool ok = false;
+    std::string error;            //!< first problem found when !ok
+    std::uint64_t events = 0;     //!< trace events examined
+    std::uint64_t complete = 0;   //!< ph == "X" events
+    std::uint64_t instants = 0;   //!< ph == "i" events
+    std::uint64_t metadata = 0;   //!< ph == "M" events
+};
+
+/**
+ * Parse @p text and check the trace-event contract: a top-level object
+ * with a "traceEvents" array whose members carry a string "ph", string
+ * "name", and (for non-metadata phases) numeric "ts"/"pid"/"tid", with
+ * a non-negative "dur" on complete events.
+ */
+TraceValidation validateChromeTrace(const std::string &text);
+
+} // namespace wo
+
+#endif // WO_OBS_VALIDATE_HH

@@ -1,9 +1,33 @@
 #include "cpu.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "models/thread_ctx.hh" // accessKindOf
+#include "obs/obs.hh"
 
 namespace wo {
+
+namespace {
+
+/** Which synchronization side a stalled access charges (see OpSide). */
+OpSide
+sideOf(AccessKind k)
+{
+    switch (k) {
+      case AccessKind::sync_write:
+        return OpSide::release;
+      case AccessKind::sync_read:
+      case AccessKind::sync_rmw:
+        return OpSide::acquire;
+      case AccessKind::data_read:
+      case AccessKind::data_write:
+        break;
+    }
+    return OpSide::data;
+}
+
+} // namespace
 
 Cpu::Cpu(ProcId id, const Program &prog, EventQueue &eq,
          OrderingPolicy policy, Execution *exec, const CpuCfg &cfg)
@@ -158,13 +182,24 @@ Cpu::step()
     }
     if (!canIssue(i)) {
         stats_.counter("issue_stall_polls").inc();
+        // Remember which gate failed so the stall profiler can bucket
+        // the wait when it finally ends.
+        issue_wait_mlp_ = cfg_.max_outstanding > 0 &&
+                          countOutstanding() >= cfg_.max_outstanding;
         return; // onCommit/onGloballyPerformed will wake us
     }
     const Tick reached = wait_started_;
     stats_.counter(i.isSync() ? "sync_issue_stall_cycles"
                               : "data_issue_stall_cycles")
         .inc(eq_.now() - reached);
+    if (Obs *obs = eq_.obs()) {
+        obs->stall(id_, 0, i.addr,
+                   issue_wait_mlp_ ? StallPhase::issue_mlp
+                                   : StallPhase::issue_counter,
+                   sideOf(accessKindOf(i.op)), reached, eq_.now());
+    }
     waiting_issue_ = false;
+    issue_wait_mlp_ = false;
 
     CacheReq req;
     req.id = next_req_++;
@@ -197,6 +232,9 @@ Cpu::step()
 
     retire_queue_.push_back(req.id);
     pending_.emplace(req.id, p);
+    if (Obs *obs = eq_.obs())
+        obs->opIssue(id_, req.id, accessKindName(p.kind), i.addr, pc_,
+                     reached, eq_.now());
     cache_->access(req);
 
     ++pc_;
@@ -222,6 +260,8 @@ Cpu::retire()
             exec_->append(id_, p.addr, p.kind, p.has_read ? p.rvalue : 0,
                           p.wvalue, timings_[p.timing_idx].committed);
         }
+        if (Obs *obs = eq_.obs())
+            obs->opRetire(id_, it->first, eq_.now());
         p.retired = true;
         ++retire_pos_;
         if (p.performed)
@@ -241,12 +281,17 @@ Cpu::onCommit(std::uint64_t id, Value read_value)
     timings_[p.timing_idx].committed = eq_.now();
     if (p.has_read)
         regs_[p.dst] = read_value;
+    if (Obs *obs = eq_.obs())
+        obs->opCommit(id_, id, eq_.now());
     // Unblock decisions read p before retire(), which may erase it.
     if (blocked_ && blocked_on_ == id && !p.wait_performed) {
         blocked_ = false;
         stats_.counter(p.is_sync ? "sync_commit_stall_cycles"
                                  : "read_stall_cycles")
             .inc(eq_.now() - block_started_);
+        if (Obs *obs = eq_.obs())
+            obs->stall(id_, id, p.addr, StallPhase::commit_wait,
+                       sideOf(p.kind), block_started_, eq_.now());
         wake(1);
     } else if (waiting_issue_ && !blocked_) {
         wake(0);
@@ -269,10 +314,28 @@ Cpu::onGloballyPerformed(std::uint64_t id)
         stats_.counter(p.is_sync ? "sync_perform_stall_cycles"
                                  : "perform_stall_cycles")
             .inc(eq_.now() - block_started_);
+        if (Obs *obs = eq_.obs()) {
+            // Split the blocked interval at the commit point: up to the
+            // commit the processor waited for the line (miss/reserve);
+            // after it, for invalidation acks in flight (network).
+            const Tick commit_t =
+                p.committed
+                    ? std::max(block_started_,
+                               timings_[p.timing_idx].committed)
+                    : eq_.now();
+            obs->stall(id_, id, p.addr, StallPhase::commit_wait,
+                       sideOf(p.kind), block_started_, commit_t);
+            obs->stall(id_, id, p.addr, StallPhase::perform_wait,
+                       sideOf(p.kind), commit_t, eq_.now());
+        }
         wake(1);
     } else if (waiting_issue_ && !blocked_) {
         wake(0);
     }
+    // After any stall classification: opPerform retires this request's
+    // profiler facts.
+    if (Obs *obs = eq_.obs())
+        obs->opPerform(id_, id, eq_.now());
     cleanup(id);
 }
 

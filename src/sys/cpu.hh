@@ -152,6 +152,7 @@ class Cpu : public CacheClient
     Tick finish_tick_ = 0;
     bool step_scheduled_ = false;
     bool waiting_issue_ = false;   //!< blocked on a policy issue condition
+    bool issue_wait_mlp_ = false;  //!< last failed gate was max_outstanding
     Tick wait_started_ = 0;
     std::uint64_t blocked_on_ = 0; //!< request id the pipeline waits on
     bool blocked_ = false;

@@ -1,6 +1,7 @@
 #include "system.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace wo {
 
@@ -16,6 +17,18 @@ SystemResult::cpu_stat_total(const std::string &name) const
     return total;
 }
 
+std::uint64_t
+SystemResult::stall_stat_total(const std::string &name) const
+{
+    std::uint64_t total = 0;
+    for (const auto &m : stall_counters) {
+        auto it = m.find(name);
+        if (it != m.end())
+            total += it->second;
+    }
+    return total;
+}
+
 System::System(const Program &prog, const SystemCfg &cfg)
     : prog_(prog), cfg_(cfg)
 {
@@ -23,6 +36,11 @@ System::System(const Program &prog, const SystemCfg &cfg)
     const NodeId dir_id = procs;
     cfg_.cache.sync_reads_as_reads =
         cfg_.policy == OrderingPolicy::wo_drf0_ro;
+
+    obs_ = std::make_unique<Obs>(procs);
+    if (cfg_.trace)
+        obs_->enableTrace(cfg_.trace_queue_events);
+    eq_.setObs(obs_.get());
 
     net_ = std::make_unique<Network>(eq_, cfg_.net);
     dir_ = std::make_unique<Directory>(dir_id, *net_,
@@ -114,10 +132,39 @@ System::run()
             counters[kv.first] = kv.second.value();
         r.cpu_counters.push_back(std::move(counters));
     }
+    for (ProcId p = 0; p < cpus_.size(); ++p) {
+        const StatGroup &g = obs_->stallStats(p);
+        r.stats += g.dump();
+        std::map<std::string, std::uint64_t> counters;
+        for (const auto &kv : g.counters())
+            counters[kv.first] = kv.second.value();
+        r.stall_counters.push_back(std::move(counters));
+    }
     for (auto &cache : caches_)
         r.stats += cache->stats().dump();
     r.stats += dir_->stats().dump();
     r.stats += net_->stats().dump();
+
+    // The unified machine-readable view: run metadata plus every
+    // component group mounted in one hierarchical namespace.
+    MetricsRegistry reg;
+    reg.set("run.program", Json(prog_.name()));
+    reg.set("run.policy", Json(policyName(cfg_.policy)));
+    reg.set("run.completed", Json(r.completed));
+    reg.set("run.deadlocked", Json(r.deadlocked));
+    reg.set("run.livelocked", Json(r.livelocked));
+    reg.set("run.finish_tick", Json(r.finish_tick));
+    reg.set("run.drain_tick", Json(r.drain_tick));
+    reg.set("run.events", Json(eq_.executed()));
+    for (ProcId p = 0; p < cpus_.size(); ++p) {
+        reg.addGroup(strprintf("cpu%u", p), cpus_[p]->stats());
+        reg.addGroup(strprintf("cpu%u.stall", p), obs_->stallStats(p));
+    }
+    for (ProcId p = 0; p < caches_.size(); ++p)
+        reg.addGroup(strprintf("cache%u", p), caches_[p]->stats());
+    reg.addGroup("dir", dir_->stats());
+    reg.addGroup("net", net_->stats());
+    r.stats_json = reg.dump(1);
     return r;
 }
 

@@ -18,6 +18,7 @@
 #include "coherence/network.hh"
 #include "event/event_queue.hh"
 #include "execution/execution.hh"
+#include "obs/obs.hh"
 #include "program/program.hh"
 #include "sys/cpu.hh"
 #include "sys/policy.hh"
@@ -34,6 +35,10 @@ struct SystemCfg
     CpuCfg cpu;
     /** Event budget; exceeding it marks the run livelocked. */
     std::uint64_t max_events = 20'000'000;
+    /** Record the structured trace (Chrome trace JSON + JSONL). */
+    bool trace = false;
+    /** With trace: also record every event-queue firing (noisy). */
+    bool trace_queue_events = true;
 };
 
 /** What a run produced. */
@@ -50,11 +55,21 @@ struct SystemResult
     bool weak_sync_read_policy = false; //!< Section-6 refinement active
     std::vector<std::vector<OpTiming>> timings; //!< per processor
     std::string stats;       //!< text dump of all component statistics
+    /**
+     * The unified metrics tree (run metadata + every component group +
+     * stall attribution) rendered as JSON; see docs/OBSERVABILITY.md.
+     */
+    std::string stats_json;
 
     /** Sum of a named counter over all cpus (convenience for benches). */
     std::uint64_t cpu_stat_total(const std::string &name) const;
 
+    /** Sum of a named stall bucket/summary over all cpus. */
+    std::uint64_t stall_stat_total(const std::string &name) const;
+
     std::vector<std::map<std::string, std::uint64_t>> cpu_counters;
+    /** Per-cpu stall attribution (bucket name -> cycles); see Obs. */
+    std::vector<std::map<std::string, std::uint64_t>> stall_counters;
 };
 
 /** The machine. */
@@ -85,6 +100,9 @@ class System
     Cpu &cpu(ProcId p) { return *cpus_[p]; }
     EventQueue &eventQueue() { return eq_; }
 
+    /** The observability hub (trace export, stall attribution). */
+    const Obs &obs() const { return *obs_; }
+
   private:
     /** Assemble the final memory image from caches and memory. */
     std::vector<Value> finalMemory() const;
@@ -92,6 +110,7 @@ class System
     const Program &prog_;
     SystemCfg cfg_;
     EventQueue eq_;
+    std::unique_ptr<Obs> obs_;
     std::unique_ptr<Network> net_;
     std::unique_ptr<Directory> dir_;
     std::vector<std::unique_ptr<Cache>> caches_;

@@ -127,6 +127,28 @@ TEST(Histogram, Percentiles)
     EXPECT_EQ(h.percentile(100), 100u);
 }
 
+TEST(Histogram, PercentileClampsOutOfRange)
+{
+    Histogram h;
+    for (std::uint64_t v : {10u, 20u, 30u})
+        h.sample(v);
+    // Out-of-range p clamps to the min/max rather than asserting.
+    EXPECT_EQ(h.percentile(-5.0), h.min());
+    EXPECT_EQ(h.percentile(250.0), h.max());
+}
+
+TEST(Histogram, PercentileEndpointsMatchMinMax)
+{
+    Histogram h;
+    h.sample(7);
+    EXPECT_EQ(h.percentile(0), 7u);
+    EXPECT_EQ(h.percentile(50), 7u);
+    EXPECT_EQ(h.percentile(100), 7u);
+    h.sample(3);
+    EXPECT_EQ(h.percentile(0), h.min());
+    EXPECT_EQ(h.percentile(100), h.max());
+}
+
 TEST(Histogram, EmptyIsZero)
 {
     Histogram h;
@@ -135,6 +157,19 @@ TEST(Histogram, EmptyIsZero)
     EXPECT_EQ(h.min(), 0u);
     EXPECT_EQ(h.max(), 0u);
     EXPECT_EQ(h.percentile(50), 0u);
+}
+
+TEST(StatGroup, DumpIsOrderStable)
+{
+    // Creation order must not affect the dump: lines sort by name.
+    StatGroup a("g");
+    a.counter("zeta").inc(1);
+    a.counter("alpha").inc(2);
+    StatGroup b("g");
+    b.counter("alpha").inc(2);
+    b.counter("zeta").inc(1);
+    EXPECT_EQ(a.dump(), b.dump());
+    EXPECT_LT(a.dump().find("alpha"), a.dump().find("zeta"));
 }
 
 TEST(Histogram, ResetClears)

@@ -15,8 +15,15 @@
  *
  *     wotool run     <file> [--policy sc|def1|drf0|drf0ro] [--hop N]
  *                    [--jitter N] [--seed N] [--trace]
+ *                    [--trace-json F] [--trace-jsonl F] [--stats-json F]
  *         Execute on the timed cache-coherent system; print the outcome,
- *         timing and statistics.
+ *         timing and statistics.  --trace-json writes a Chrome
+ *         trace-event file (load it in Perfetto / chrome://tracing),
+ *         --trace-jsonl a compact line-oriented log, --stats-json the
+ *         unified metrics tree (see docs/OBSERVABILITY.md).
+ *
+ *     wotool stats   <file> [--policy sc|def1|drf0|drf0ro]
+ *         Run and print the metrics JSON to stdout.
  *
  *     wotool disasm  <file>
  *         Parse and print back (normalizes labels/locations).
@@ -42,6 +49,7 @@
 #include "models/wo_def1_model.hh"
 #include "models/wo_drf0_model.hh"
 #include "models/write_buffer_model.hh"
+#include "obs/artifact.hh"
 #include "sc/sc_checker.hh"
 #include "sys/system.hh"
 
@@ -59,7 +67,10 @@ usage()
                  "  verify  [--model wb|net|stale|def1|drf0|drf0ro]\n"
                  "  run     [--policy sc|def1|drf0|drf0ro] [--hop N]\n"
                  "          [--jitter N] [--seed N] [--trace] [--dot F]\n"
-                 "          [--save-trace F]\n"
+                 "          [--save-trace F] [--trace-json F]\n"
+                 "          [--trace-jsonl F] [--stats-json F]\n"
+                 "  stats   [--policy sc|def1|drf0|drf0ro]  (metrics JSON\n"
+                 "          on stdout)\n"
                  "  lockset\n"
                  "  litmus   (evaluate the file's 'probe' condition on\n"
                  "            every abstract machine)\n"
@@ -173,32 +184,59 @@ cmdVerify(const Program &prog, int argc, char **argv)
     });
 }
 
-int
-cmdRun(const Program &prog, int argc, char **argv)
+bool
+parsePolicy(int argc, char **argv, OrderingPolicy &out)
 {
-    SystemCfg cfg;
     const char *pol = opt(argc, argv, "--policy");
     std::string p = pol ? pol : "drf0";
     if (p == "sc")
-        cfg.policy = OrderingPolicy::sc;
+        out = OrderingPolicy::sc;
     else if (p == "def1")
-        cfg.policy = OrderingPolicy::wo_def1;
+        out = OrderingPolicy::wo_def1;
     else if (p == "drf0")
-        cfg.policy = OrderingPolicy::wo_drf0;
+        out = OrderingPolicy::wo_drf0;
     else if (p == "drf0ro")
-        cfg.policy = OrderingPolicy::wo_drf0_ro;
+        out = OrderingPolicy::wo_drf0_ro;
     else {
         std::fprintf(stderr, "unknown policy '%s'\n", p.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Write @p text to @p path, reporting success on stdout. */
+int
+emitFile(const char *path, const std::string &text, const char *what)
+{
+    if (!writeFile(path, text)) {
+        std::fprintf(stderr, "cannot write '%s'\n", path);
         return 2;
     }
+    std::printf("wrote %s to %s\n", what, path);
+    return 0;
+}
+
+int
+cmdRun(const AsmResult &a, int argc, char **argv)
+{
+    const Program &prog = *a.program;
+    SystemCfg cfg;
+    if (!parsePolicy(argc, argv, cfg.policy))
+        return 2;
     if (const char *v = opt(argc, argv, "--hop"))
         cfg.net.hop_latency = std::strtoull(v, nullptr, 0);
     if (const char *v = opt(argc, argv, "--jitter"))
         cfg.net.jitter = std::strtoull(v, nullptr, 0);
     if (const char *v = opt(argc, argv, "--seed"))
         cfg.net.seed = std::strtoull(v, nullptr, 0);
+    const char *trace_json = opt(argc, argv, "--trace-json");
+    const char *trace_jsonl = opt(argc, argv, "--trace-jsonl");
+    const char *stats_json = opt(argc, argv, "--stats-json");
+    cfg.trace = trace_json || trace_jsonl;
 
     System sys(prog, cfg);
+    for (const auto &w : a.warm)
+        sys.warmShared(w.addr, w.procs);
     auto r = sys.run();
     std::printf("%s under %s: %s, finish tick %llu\n",
                 prog.name().c_str(), policyName(cfg.policy),
@@ -237,6 +275,32 @@ cmdRun(const Program &prog, int argc, char **argv)
         std::fclose(f);
         std::printf("wrote happens-before graph to %s\n", path);
     }
+    if (trace_json)
+        if (int rc = emitFile(trace_json, sys.obs().chromeTraceJson(),
+                              "Chrome trace"))
+            return rc;
+    if (trace_jsonl)
+        if (int rc = emitFile(trace_jsonl, sys.obs().traceJsonl(),
+                              "trace JSONL"))
+            return rc;
+    if (stats_json)
+        if (int rc = emitFile(stats_json, r.stats_json + "\n",
+                              "metrics JSON"))
+            return rc;
+    return r.completed ? 0 : 1;
+}
+
+int
+cmdStats(const AsmResult &a, int argc, char **argv)
+{
+    SystemCfg cfg;
+    if (!parsePolicy(argc, argv, cfg.policy))
+        return 2;
+    System sys(*a.program, cfg);
+    for (const auto &w : a.warm)
+        sys.warmShared(w.addr, w.procs);
+    auto r = sys.run();
+    std::printf("%s\n", r.stats_json.c_str());
     return r.completed ? 0 : 1;
 }
 
@@ -330,7 +394,9 @@ toolMain(int argc, char **argv)
     if (cmd == "verify")
         return cmdVerify(prog, argc, argv);
     if (cmd == "run")
-        return cmdRun(prog, argc, argv);
+        return cmdRun(a, argc, argv);
+    if (cmd == "stats")
+        return cmdStats(a, argc, argv);
     if (cmd == "lockset") {
         auto r = checkLockDiscipline(prog);
         if (r.certified) {
