@@ -110,6 +110,8 @@ Cache::commit(const CacheReq &req, Tick delay, bool performed_now)
     if (req.is_sync && write_path && counter_ > 0) {
         reserved_.insert(req.addr);
         stats_.counter("reservations").inc();
+        if (Obs *obs = eq_.obs())
+            obs->reserveSet(id_, req.addr, eq_.now());
     }
     CacheClient *client = client_;
     const std::uint64_t rid = req.id;
@@ -146,8 +148,10 @@ Cache::sendMiss(const CacheReq &req, bool exclusive)
     ++counter_;
     ++misses_in_flight_;
     stats_.counter(exclusive ? "write_misses" : "read_misses").inc();
-    if (Obs *obs = eq_.obs())
+    if (Obs *obs = eq_.obs()) {
         obs->reqMiss(id_, req.id);
+        obs->counterChanged(id_, counter_, eq_.now());
+    }
 
     Message msg;
     msg.type = exclusive ? MsgType::get_x : MsgType::get_s;
@@ -164,17 +168,30 @@ Cache::decrementCounter()
 {
     wo_assert(counter_ > 0, "counter underflow at cache %u", id_);
     if (--counter_ == 0) {
-        // "All reserve bits are reset when the counter reads zero."
+        // "All reserve bits are reset when the counter reads zero."  The
+        // clear (and its hook) precedes the counter hook so the monitor
+        // sees the invariant already restored when zero becomes
+        // observable -- unless the seeded fault drops the clear.
         if (!reserved_.empty()) {
-            reserved_.clear();
-            stats_.counter("reserve_clears").inc();
+            if (cfg_.bug_drop_reserve_clear) {
+                stats_.counter("dropped_reserve_clears").inc();
+            } else {
+                reserved_.clear();
+                stats_.counter("reserve_clears").inc();
+                if (Obs *obs = eq_.obs())
+                    obs->reserveCleared(id_, eq_.now());
+            }
         }
+        if (Obs *obs = eq_.obs())
+            obs->counterChanged(id_, counter_, eq_.now());
         reserved_window_misses_ = 0;
         // Queue-mode stalled requests are serviced now.
         std::deque<Message> stalled;
         stalled.swap(stalled_);
         for (const Message &m : stalled)
             serveForward(m);
+    } else if (Obs *obs = eq_.obs()) {
+        obs->counterChanged(id_, counter_, eq_.now());
     }
     drainDeferred();
 }
@@ -386,6 +403,8 @@ Cache::handleNack(const Message &msg)
                                "retry without MSHR for %u", addr);
                      ++counter_;
                      ++misses_in_flight_;
+                     if (Obs *obs = eq_.obs())
+                         obs->counterChanged(id_, counter_, eq_.now());
                      Message r;
                      r.type = exclusive ? MsgType::get_x : MsgType::get_s;
                      r.src = id_;

@@ -90,6 +90,15 @@ struct CacheCfg
      * remote reserved line.
      */
     int reserved_miss_limit = -1;
+
+    /**
+     * Seeded hardware fault, test-only: when the counter reads zero the
+     * reserve bits are NOT cleared, breaking the Section-5.3 invariant
+     * ("all reserve bits are reset when the counter reads zero").  Used
+     * to prove the online monitor reports the breach at the violating
+     * cycle; never enable outside fault-injection tests.
+     */
+    bool bug_drop_reserve_clear = false;
 };
 
 /** One processor's private cache. */

@@ -44,6 +44,16 @@ Directory::quiescent() const
     return true;
 }
 
+std::uint64_t
+Directory::busyLines() const
+{
+    std::uint64_t n = 0;
+    for (const auto &l : lines_)
+        if (l.busy || l.collecting || !l.waiting.empty())
+            ++n;
+    return n;
+}
+
 void
 Directory::warmSharer(Addr addr, NodeId node)
 {

@@ -78,6 +78,9 @@ class Directory : public MsgHandler
     /** True when no transaction is in flight anywhere. */
     bool quiescent() const;
 
+    /** Lines with a transaction in flight (busy, collecting or waiting). */
+    std::uint64_t busyLines() const;
+
     /** Statistics. */
     const StatGroup &stats() const { return stats_; }
 

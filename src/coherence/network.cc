@@ -47,8 +47,11 @@ Network::send(Message msg)
         obs->message(eq_.now(), when, msg.src, msg.dst,
                      msgTypeName(msg.type), msg.addr, msg.is_sync);
     MsgHandler *handler = handlers_[msg.dst];
-    eq_.scheduleAt(when, msg.toString(),
-                   [handler, msg] { handler->receive(msg); });
+    ++in_flight_;
+    eq_.scheduleAt(when, msg.toString(), [this, handler, msg] {
+        --in_flight_;
+        handler->receive(msg);
+    });
 }
 
 } // namespace wo

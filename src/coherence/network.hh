@@ -56,6 +56,9 @@ class Network
     /** Send @p msg from msg.src to msg.dst after the configured latency. */
     void send(Message msg);
 
+    /** Messages currently on the wire (sent, not yet delivered). */
+    std::uint64_t inFlight() const { return in_flight_; }
+
     /** Messages sent so far. */
     const StatGroup &stats() const { return stats_; }
 
@@ -72,6 +75,7 @@ class Network
     std::vector<MsgHandler *> handlers_;
     // Last scheduled delivery tick per (src,dst) pair, to keep FIFO order.
     std::map<std::pair<NodeId, NodeId>, Tick> last_delivery_;
+    std::uint64_t in_flight_ = 0; //!< sent, not yet delivered
     StatGroup stats_;
 };
 

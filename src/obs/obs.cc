@@ -1,6 +1,9 @@
 #include "obs.hh"
 
 #include "common/logging.hh"
+#include "obs/monitor.hh"
+#include "obs/recorder.hh"
+#include "obs/sampler.hh"
 
 namespace wo {
 
@@ -111,9 +114,49 @@ Obs::queueFire(Tick now, const std::string &label)
 }
 
 void
+Obs::mirrorViolations(Tick now)
+{
+    if (!monitor_)
+        return;
+    const std::uint64_t total = monitor_->totalViolations();
+    if (!recorder_) {
+        mirrored_violations_ = total;
+        return;
+    }
+    const auto &rec = monitor_->violations();
+    while (mirrored_violations_ < total) {
+        FlightEvent e;
+        e.kind = FlightKind::violation;
+        e.t = now;
+        if (mirrored_violations_ < rec.size()) {
+            const MonitorViolation &v = rec[mirrored_violations_];
+            e.t = v.tick;
+            e.proc = v.proc == invalid_proc ? 0 : v.proc;
+            e.addr = v.addr;
+            e.label = violationKindName(v.kind);
+        } else {
+            e.label = "unrecorded";
+        }
+        recorder_->record(e);
+        ++mirrored_violations_;
+    }
+}
+
+void
 Obs::message(Tick sent, Tick deliver, unsigned src, unsigned dst,
              const char *type, Addr addr, bool is_sync)
 {
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::msg;
+        e.t = sent;
+        e.t2 = deliver;
+        e.proc = static_cast<ProcId>(src);
+        e.addr = addr;
+        e.label = type;
+        e.a = dst;
+        recorder_->record(e);
+    }
     if (!trace_enabled_)
         return;
     Json r = Json::object();
@@ -149,6 +192,16 @@ Obs::opIssue(ProcId p, std::uint64_t req, const char *kind, Addr addr,
     op.reached = reached;
     op.issued = issued;
     live_[{p, req}] = std::move(op);
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::issue;
+        e.t = issued;
+        e.proc = p;
+        e.addr = addr;
+        e.req = req;
+        e.label = kind; // accessKindName: static storage
+        recorder_->record(e);
+    }
     if (!trace_enabled_)
         return;
     Json r = Json::object();
@@ -170,6 +223,14 @@ Obs::opCommit(ProcId p, std::uint64_t req, Tick now)
     if (it != live_.end()) {
         it->second.committed = now;
         it->second.has_committed = true;
+    }
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::commit;
+        e.t = now;
+        e.proc = p;
+        e.req = req;
+        recorder_->record(e);
     }
     if (!trace_enabled_)
         return;
@@ -206,6 +267,14 @@ Obs::opPerform(ProcId p, std::uint64_t req, Tick now)
         live_.erase(it);
     }
     facts_.erase({p, req});
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::perform;
+        e.t = now;
+        e.proc = p;
+        e.req = req;
+        recorder_->record(e);
+    }
     if (!trace_enabled_)
         return;
     Json r = Json::object();
@@ -217,8 +286,25 @@ Obs::opPerform(ProcId p, std::uint64_t req, Tick now)
 }
 
 void
-Obs::opRetire(ProcId p, std::uint64_t req, Tick now)
+Obs::opRetire(ProcId p, std::uint64_t req, Tick now, Addr addr,
+              AccessKind kind, Value value_read, Value value_written,
+              Tick commit_tick)
 {
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::retire;
+        e.t = now;
+        e.proc = p;
+        e.addr = addr;
+        e.req = req;
+        e.label = accessKindName(kind);
+        recorder_->record(e);
+    }
+    if (monitor_) {
+        monitor_->opRetired(p, addr, kind, value_read, value_written,
+                            commit_tick, now);
+        mirrorViolations(now);
+    }
     if (!trace_enabled_)
         return;
     Json r = Json::object();
@@ -226,7 +312,62 @@ Obs::opRetire(ProcId p, std::uint64_t req, Tick now)
     r.set("ev", "retire");
     r.set("cpu", std::uint64_t{p});
     r.set("req", req);
+    r.set("addr", std::uint64_t{addr});
     raw(std::move(r));
+}
+
+void
+Obs::counterChanged(ProcId p, int value, Tick now)
+{
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::counter;
+        e.t = now;
+        e.proc = p;
+        e.a = value;
+        recorder_->record(e);
+    }
+    if (monitor_) {
+        monitor_->counterChanged(p, value, now);
+        mirrorViolations(now);
+    }
+}
+
+void
+Obs::reserveSet(ProcId p, Addr addr, Tick now)
+{
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::reserve;
+        e.t = now;
+        e.proc = p;
+        e.addr = addr;
+        e.label = "set";
+        e.a = 1;
+        recorder_->record(e);
+    }
+    if (monitor_) {
+        monitor_->reserveSet(p, addr, now);
+        mirrorViolations(now);
+    }
+}
+
+void
+Obs::reserveCleared(ProcId p, Tick now)
+{
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::reserve;
+        e.t = now;
+        e.proc = p;
+        e.label = "clear";
+        e.a = 0;
+        recorder_->record(e);
+    }
+    if (monitor_) {
+        monitor_->reserveCleared(p, now);
+        mirrorViolations(now);
+    }
 }
 
 void
@@ -285,6 +426,18 @@ Obs::stall(ProcId p, std::uint64_t req, Addr addr, StallPhase phase,
     g.counter(stallBucketName(bucket)).inc(cycles);
     g.counter("total").inc(cycles);
     g.counter(opSideName(side)).inc(cycles);
+
+    if (recorder_) {
+        FlightEvent e;
+        e.kind = FlightKind::stall;
+        e.t = from;
+        e.t2 = to;
+        e.proc = p;
+        e.addr = addr;
+        e.req = req;
+        e.label = stallBucketName(bucket);
+        recorder_->record(e);
+    }
 
     if (!trace_enabled_)
         return;
@@ -354,6 +507,8 @@ Obs::chromeTraceJson() const
 
     for (const Json &ev : chrome_events_)
         events.push(ev);
+    if (sampler_)
+        sampler_->appendCounterEvents(events);
     root.set("traceEvents", std::move(events));
     root.set("displayTimeUnit", "ns");
     Json other = Json::object();

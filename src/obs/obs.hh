@@ -22,9 +22,16 @@
  *  3. Side-channel facts needed for (2): which requests missed, which
  *     were NACKed or held at a remote reserved line.
  *
+ * The hub also fans the same hooks out to two optional attachments:
+ * the online invariant Monitor (fed every retired operation and every
+ * counter/reserve-bit transition) and the always-on FlightRecorder
+ * ring (fed every hook, cheaply, even with tracing off).  See
+ * monitor.hh and recorder.hh.
+ *
  * Components reach the hub through EventQueue::obs(), which every timed
  * component already holds; a null hub disables everything.  The hub
- * deliberately depends only on common/ so any layer may call into it.
+ * depends only on common/ and the execution record so any layer may
+ * call into it.
  */
 
 #ifndef WO_OBS_OBS_HH
@@ -37,9 +44,14 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "execution/memory_op.hh"
 #include "obs/json.hh"
 
 namespace wo {
+
+class Monitor;
+class FlightRecorder;
+class Sampler;
 
 /**
  * Where a stalled CPU cycle went.  Every blocked or issue-gated cycle
@@ -104,6 +116,32 @@ class Obs
     /** Is the structured trace recording? */
     bool tracing() const { return trace_enabled_; }
 
+    /**
+     * Attach the online invariant monitor.  Retired operations and
+     * counter/reserve transitions are forwarded to it; violations it
+     * raises are mirrored into the flight recorder (when attached).
+     * Must outlive the run.
+     */
+    void attachMonitor(Monitor *m) { monitor_ = m; }
+
+    /** The attached monitor, or nullptr. */
+    Monitor *monitor() const { return monitor_; }
+
+    /** Attach the flight recorder.  Must outlive the run. */
+    void attachRecorder(FlightRecorder *r) { recorder_ = r; }
+
+    /** The attached flight recorder, or nullptr. */
+    FlightRecorder *recorder() const { return recorder_; }
+
+    /**
+     * Attach the periodic sampler; its counter-track samples are merged
+     * into chromeTraceJson().  Must outlive the export.
+     */
+    void attachSampler(const Sampler *s) { sampler_ = s; }
+
+    /** The attached sampler, or nullptr. */
+    const Sampler *sampler() const { return sampler_; }
+
     // ---- hooks called by the timed components ------------------------
 
     /** Event kernel: one event popped and about to execute. */
@@ -123,8 +161,24 @@ class Obs
     /** CPU: request globally performed. */
     void opPerform(ProcId p, std::uint64_t req, Tick now);
 
-    /** CPU: request retired into the execution. */
-    void opRetire(ProcId p, std::uint64_t req, Tick now);
+    /**
+     * CPU: request retired into the execution, with the full operation
+     * payload so the monitor can replay it into its own execution copy.
+     * Retire order is program order per processor and the completion
+     * order contract of Execution::append.
+     */
+    void opRetire(ProcId p, std::uint64_t req, Tick now, Addr addr,
+                  AccessKind kind, Value value_read, Value value_written,
+                  Tick commit_tick);
+
+    /** Cache: outstanding-access counter of @p p changed to @p value. */
+    void counterChanged(ProcId p, int value, Tick now);
+
+    /** Cache: reserve bit set on @p addr by processor @p p. */
+    void reserveSet(ProcId p, Addr addr, Tick now);
+
+    /** Cache: all reserve bits of processor @p p cleared. */
+    void reserveCleared(ProcId p, Tick now);
 
     /** Cache: the request left the cache as a miss (GetS/GetX sent). */
     void reqMiss(ProcId p, std::uint64_t req);
@@ -165,6 +219,9 @@ class Obs
     /** The raw event stream, one compact JSON object per line. */
     std::string traceJsonl() const;
 
+    /** Operations issued but never globally performed (so far). */
+    std::uint64_t unfinishedOps() const { return live_.size(); }
+
   private:
     struct LiveOp
     {
@@ -196,9 +253,16 @@ class Obs
     StallBucket classify(ProcId p, std::uint64_t req, Addr addr,
                          StallPhase phase);
 
+    /** Mirror monitor violations raised since last call into the ring. */
+    void mirrorViolations(Tick now);
+
     ProcId nprocs_;
     bool trace_enabled_ = false;
     bool trace_queue_events_ = false;
+    Monitor *monitor_ = nullptr;
+    FlightRecorder *recorder_ = nullptr;
+    const Sampler *sampler_ = nullptr;
+    std::uint64_t mirrored_violations_ = 0;
 
     std::vector<StatGroup> stall_groups_; //!< one per processor
     std::map<std::pair<ProcId, std::uint64_t>, ReqFacts> facts_;

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The flight recorder: an always-on bounded ring of recent simulator
+ * events, cheap enough to leave enabled when the full structured trace
+ * (`--trace-json`) is off.
+ *
+ * The full trace allocates JSON per event and grows without bound; the
+ * recorder instead overwrites a fixed ring of POD records (labels are
+ * static-lifetime C strings, nothing is formatted at record time).  On
+ * a monitor violation or a deadlocked/livelocked termination, System
+ * dumps the surviving window -- the last N events before the failure --
+ * as Chrome trace-event JSON, using the same lane layout as the full
+ * trace so the two open identically in Perfetto.
+ */
+
+#ifndef WO_OBS_RECORDER_HH
+#define WO_OBS_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace wo {
+
+/** What a flight-recorder record describes. */
+enum class FlightKind : std::uint8_t
+{
+    msg,      //!< network message: t=sent, t2=deliver, proc=src, a=dst
+    issue,    //!< CPU issued a request (label = access kind)
+    commit,   //!< request committed
+    perform,  //!< request globally performed
+    retire,   //!< request retired into the execution
+    stall,    //!< stall interval [t, t2) (label = bucket)
+    counter,  //!< outstanding counter changed (a = new value)
+    reserve,  //!< reserve bits changed (a = 1 set on addr, 0 all cleared)
+    violation //!< monitor violation (label = kind)
+};
+
+/** Stable printable kind name. */
+const char *flightKindName(FlightKind k);
+
+/**
+ * One ring record.  POD on purpose: recording must cost a copy, not an
+ * allocation.  @c label must point at static-lifetime storage.
+ */
+struct FlightEvent
+{
+    FlightKind kind = FlightKind::issue;
+    Tick t = 0;                //!< event time (start time for spans)
+    Tick t2 = 0;               //!< span end (msg deliver, stall end)
+    ProcId proc = 0;           //!< processor / source node
+    Addr addr = invalid_addr;  //!< location, when meaningful
+    std::uint64_t req = 0;     //!< CPU request id, when meaningful
+    const char *label = nullptr; //!< static string (kind/bucket/type)
+    std::int64_t a = 0;        //!< kind-specific scalar
+};
+
+/** The bounded ring. */
+class FlightRecorder
+{
+  public:
+    /** @param capacity ring size in events (last N kept) */
+    explicit FlightRecorder(std::size_t capacity = 4096);
+
+    /** Append one record, evicting the oldest when full. */
+    void record(const FlightEvent &e)
+    {
+        ring_[next_] = e;
+        next_ = (next_ + 1) % ring_.size();
+        ++recorded_;
+    }
+
+    /** Ring capacity. */
+    std::size_t capacity() const { return ring_.size(); }
+
+    /** Events currently held (<= capacity). */
+    std::size_t size() const
+    {
+        return recorded_ < ring_.size() ? recorded_ : ring_.size();
+    }
+
+    /** Events ever recorded. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Events overwritten (recorded - held). */
+    std::uint64_t dropped() const { return recorded_ - size(); }
+
+    /** The surviving window, oldest first. */
+    std::vector<FlightEvent> window() const;
+
+    /**
+     * The window as a complete Chrome trace-event JSON document, using
+     * the hub's lane layout (tid 2p = "cpu<p> ops", 2p+1 = "cpu<p>
+     * stalls", 2P = "network") plus a "monitor" lane (2P+1) for
+     * violations; counter records become Perfetto counter tracks
+     * ('C' phase).
+     * @param nprocs processor count, for lane naming
+     */
+    std::string chromeTraceJson(ProcId nprocs) const;
+
+  private:
+    std::vector<FlightEvent> ring_;
+    std::size_t next_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace wo
+
+#endif // WO_OBS_RECORDER_HH

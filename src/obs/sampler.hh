@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The periodic sampler: turns the hub's end-of-run aggregates into
+ * time-resolved series.
+ *
+ * A Sampler owns a table of named probes (closures reading a live
+ * counter: per-CPU outstanding-access counters, stall-bucket totals,
+ * network occupancy, directory busy lines).  Once started it samples
+ * every probe immediately and then every `interval` ticks via a
+ * self-rescheduling event, stopping by itself when its event is the
+ * only thing left in the queue -- so it never keeps a drained system
+ * alive.  Results export two ways: a wide CSV (one row per sample,
+ * one column per probe) and Perfetto counter-track events ('C' phase)
+ * merged into the Chrome trace.
+ */
+
+#ifndef WO_OBS_SAMPLER_HH
+#define WO_OBS_SAMPLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "obs/json.hh"
+
+namespace wo {
+
+class EventQueue;
+
+/** The periodic sampler.  Create, add probes, start, run, export. */
+class Sampler
+{
+  public:
+    /** @param interval ticks between samples (>= 1) */
+    explicit Sampler(Tick interval);
+
+    /** Sampling period. */
+    Tick interval() const { return interval_; }
+
+    /** Register a probe.  All probes must be added before start(). */
+    void addProbe(std::string name, std::function<std::uint64_t()> read);
+
+    /** Number of registered probes. */
+    std::size_t probeCount() const { return probes_.size(); }
+
+    /**
+     * Take the baseline sample now and schedule the periodic ones on
+     * @p eq.  The queue (and every component the probes read) must
+     * outlive the drain.
+     */
+    void start(EventQueue &eq);
+
+    /** Rows captured so far. */
+    std::size_t sampleCount() const { return ticks_.size(); }
+
+    /**
+     * Wide CSV: header "tick,<probe>,...", one row per sample.
+     */
+    std::string csv() const;
+
+    /**
+     * Append one Perfetto counter-track event ('C' phase, pid/tid 0)
+     * per probe per sample to @p events (a "traceEvents" array).
+     */
+    void appendCounterEvents(Json &events) const;
+
+  private:
+    void sampleNow(Tick now);
+    void scheduleNext(EventQueue &eq);
+
+    Tick interval_;
+    std::vector<std::string> names_;
+    std::vector<std::function<std::uint64_t()>> probes_;
+    std::vector<Tick> ticks_;
+    std::vector<std::uint64_t> values_; //!< row-major, probeCount() wide
+};
+
+} // namespace wo
+
+#endif // WO_OBS_SAMPLER_HH

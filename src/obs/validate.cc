@@ -63,6 +63,25 @@ validateChromeTrace(const std::string &text)
             }
         } else if (phase == "i") {
             ++v.instants;
+        } else if (phase == "C") {
+            ++v.counters;
+            // A counter sample's args members are the track values.
+            const Json *args = ev.find("args");
+            if (!args || !args->isObject() || args->members().empty()) {
+                v.error = strprintf(
+                    "counter event %llu lacks an args object",
+                    static_cast<unsigned long long>(v.events));
+                return v;
+            }
+            for (const auto &kv : args->members()) {
+                if (!kv.second.isNumber()) {
+                    v.error = strprintf(
+                        "counter event %llu has non-numeric value '%s'",
+                        static_cast<unsigned long long>(v.events),
+                        kv.first.c_str());
+                    return v;
+                }
+            }
         } else {
             v.error = strprintf("event %llu has unknown phase '%s'",
                                 static_cast<unsigned long long>(v.events),

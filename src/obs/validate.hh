@@ -23,13 +23,15 @@ struct TraceValidation
     std::uint64_t complete = 0;   //!< ph == "X" events
     std::uint64_t instants = 0;   //!< ph == "i" events
     std::uint64_t metadata = 0;   //!< ph == "M" events
+    std::uint64_t counters = 0;   //!< ph == "C" events (counter tracks)
 };
 
 /**
  * Parse @p text and check the trace-event contract: a top-level object
  * with a "traceEvents" array whose members carry a string "ph", string
  * "name", and (for non-metadata phases) numeric "ts"/"pid"/"tid", with
- * a non-negative "dur" on complete events.
+ * a non-negative "dur" on complete events and a numeric-valued "args"
+ * object on counter events.
  */
 TraceValidation validateChromeTrace(const std::string &text);
 

@@ -261,7 +261,9 @@ Cpu::retire()
                           p.wvalue, timings_[p.timing_idx].committed);
         }
         if (Obs *obs = eq_.obs())
-            obs->opRetire(id_, it->first, eq_.now());
+            obs->opRetire(id_, it->first, eq_.now(), p.addr, p.kind,
+                          p.has_read ? p.rvalue : 0, p.wvalue,
+                          timings_[p.timing_idx].committed);
         p.retired = true;
         ++retire_pos_;
         if (p.performed)

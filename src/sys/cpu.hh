@@ -79,6 +79,9 @@ class Cpu : public CacheClient
     /** Tick at which the thread halted. */
     Tick finishTick() const { return finish_tick_; }
 
+    /** Current program counter (the instruction being waited on). */
+    Pc pc() const { return pc_; }
+
     /** Register file (final values once halted). */
     const std::array<Value, num_regs> &regs() const { return regs_; }
 

@@ -1,7 +1,11 @@
 #include "system.hh"
 
 #include "common/logging.hh"
+#include "obs/artifact.hh"
 #include "obs/metrics.hh"
+#include "obs/monitor.hh"
+#include "obs/recorder.hh"
+#include "obs/sampler.hh"
 
 namespace wo {
 
@@ -40,6 +44,20 @@ System::System(const Program &prog, const SystemCfg &cfg)
     obs_ = std::make_unique<Obs>(procs);
     if (cfg_.trace)
         obs_->enableTrace(cfg_.trace_queue_events);
+    if (cfg_.monitor) {
+        MonitorCfg mc;
+        mc.flavor = cfg_.policy == OrderingPolicy::wo_drf0_ro
+                        ? HbRelation::SyncFlavor::weak_sync_read
+                        : HbRelation::SyncFlavor::drf0;
+        monitor_ = std::make_unique<Monitor>(procs, prog.numLocations(),
+                                             prog.initialMemory(), mc);
+        obs_->attachMonitor(monitor_.get());
+    }
+    if (cfg_.flight_recorder) {
+        recorder_ =
+            std::make_unique<FlightRecorder>(cfg_.flight_recorder_capacity);
+        obs_->attachRecorder(recorder_.get());
+    }
     eq_.setObs(obs_.get());
 
     net_ = std::make_unique<Network>(eq_, cfg_.net);
@@ -56,6 +74,40 @@ System::System(const Program &prog, const SystemCfg &cfg)
             prog.numLocations(), cfg_.cache));
         cpus_.back()->attachCache(caches_.back().get());
         net_->attach(p, caches_.back().get());
+    }
+
+    if (cfg_.sample_interval > 0) {
+        sampler_ = std::make_unique<Sampler>(cfg_.sample_interval);
+        for (ProcId p = 0; p < procs; ++p) {
+            sampler_->addProbe(
+                strprintf("cpu%u.outstanding", p),
+                [c = caches_[p].get()]() -> std::uint64_t {
+                    const int v = c->counter();
+                    return v > 0 ? static_cast<std::uint64_t>(v) : 0;
+                });
+            auto bucketProbe = [this, p](const char *name) {
+                return [this, p, name]() -> std::uint64_t {
+                    const auto &m = obs_->stallStats(p).counters();
+                    auto it = m.find(name);
+                    return it == m.end() ? 0 : it->second.value();
+                };
+            };
+            for (int b = 0; b < num_stall_buckets; ++b) {
+                const char *bn =
+                    stallBucketName(static_cast<StallBucket>(b));
+                sampler_->addProbe(strprintf("cpu%u.stall.%s", p, bn),
+                                   bucketProbe(bn));
+            }
+            sampler_->addProbe(strprintf("cpu%u.stall.total", p),
+                               bucketProbe("total"));
+        }
+        sampler_->addProbe("net.in_flight", [n = net_.get()] {
+            return n->inFlight();
+        });
+        sampler_->addProbe("dir.busy_lines", [d = dir_.get()] {
+            return d->busyLines();
+        });
+        obs_->attachSampler(sampler_.get());
     }
 }
 
@@ -84,23 +136,88 @@ System::finalMemory() const
     return mem;
 }
 
+void
+System::dumpEvidence(const char *why)
+{
+    if (cfg_.dump_on_fail.empty() || evidence_dumped_)
+        return;
+    evidence_dumped_ = true;
+    const std::string &prefix = cfg_.dump_on_fail;
+    inform("dumping failure evidence (%s) to %s.*", why, prefix.c_str());
+    const std::string trace =
+        recorder_ ? recorder_->chromeTraceJson(
+                        static_cast<ProcId>(cpus_.size()))
+                  : obs_->chromeTraceJson();
+    writeFile(prefix + ".trace.json", trace);
+    if (monitor_) {
+        // A livelocked spin can retire millions of ops; rendering the
+        // full hb graph would dwarf the failure it documents.
+        const std::size_t nops = monitor_->execution().ops().size();
+        writeFile(prefix + ".hb.dot",
+                  nops <= SystemCfg::max_witness_dot_ops
+                      ? monitor_->witnessDot()
+                      : strprintf("// hb witness omitted: %zu retired "
+                                  "ops exceed the render cap (%zu)\n",
+                                  nops,
+                                  SystemCfg::max_witness_dot_ops));
+        writeFile(prefix + ".monitor.txt",
+                  strprintf("reason: %s\n", why) + monitor_->report());
+    }
+}
+
 SystemResult
 System::run()
 {
     for (auto &cpu : cpus_)
         cpu->boot();
+    if (sampler_)
+        sampler_->start(eq_);
 
     SystemResult r;
     std::uint64_t events = 0;
     while (!eq_.empty()) {
         if (++events > cfg_.max_events) {
             r.livelocked = true;
-            warn("system livelocked after %llu events running '%s' (%s)",
+            // Satellite diagnostics: where each processor is stuck and
+            // what it has mostly been waiting on.
+            std::string snap;
+            Tick finish_so_far = 0;
+            for (ProcId p = 0; p < cpus_.size(); ++p) {
+                finish_so_far =
+                    std::max(finish_so_far, cpus_[p]->finishTick());
+                const auto &m = obs_->stallStats(p).counters();
+                const char *top = "none";
+                std::uint64_t top_cycles = 0;
+                for (int b = 0; b < num_stall_buckets; ++b) {
+                    const char *bn =
+                        stallBucketName(static_cast<StallBucket>(b));
+                    auto it = m.find(bn);
+                    if (it != m.end() && it->second.value() > top_cycles) {
+                        top_cycles = it->second.value();
+                        top = bn;
+                    }
+                }
+                snap += strprintf(
+                    " cpu%u{%s pc=%u top_stall=%s:%llu}", p,
+                    cpus_[p]->halted() ? "halted" : "running",
+                    cpus_[p]->pc(),
+                    top, static_cast<unsigned long long>(top_cycles));
+            }
+            warn("system livelocked after %llu events at tick %llu "
+                 "running '%s' (%s); finish tick so far %llu;%s",
                  static_cast<unsigned long long>(events),
-                 prog_.name().c_str(), policyName(cfg_.policy));
+                 static_cast<unsigned long long>(eq_.now()),
+                 prog_.name().c_str(), policyName(cfg_.policy),
+                 static_cast<unsigned long long>(finish_so_far),
+                 snap.c_str());
             break;
         }
         eq_.step();
+        // Evidence is worth the two loads per event: dump the window
+        // around the *first* hardware violation, not the run's end.
+        if (monitor_ && !evidence_dumped_ &&
+            monitor_->hardwareViolations() > 0)
+            dumpEvidence("monitor violation");
     }
 
     bool all_halted = true;
@@ -115,6 +232,20 @@ System::run()
     r.drain_tick = eq_.now();
     r.policy = cfg_.policy;
     r.weak_sync_read_policy = cfg_.policy == OrderingPolicy::wo_drf0_ro;
+
+    if (monitor_) {
+        monitor_->finalize(eq_.now(), r.completed, obs_->unfinishedOps());
+        r.monitor_violations = monitor_->totalViolations();
+        r.monitor_hw_violations = monitor_->hardwareViolations();
+        r.monitor_races = monitor_->races();
+        r.monitor_report = monitor_->report();
+    }
+    if (sampler_)
+        r.sampler_csv = sampler_->csv();
+    if (r.deadlocked || r.livelocked)
+        dumpEvidence(r.deadlocked ? "deadlock" : "livelock");
+    else if (monitor_ && monitor_->hardwareViolations() > 0)
+        dumpEvidence("monitor violation");
 
     r.execution = *exec_;
     r.outcome.regs.reserve(cpus_.size());
@@ -164,6 +295,16 @@ System::run()
         reg.addGroup(strprintf("cache%u", p), caches_[p]->stats());
     reg.addGroup("dir", dir_->stats());
     reg.addGroup("net", net_->stats());
+    if (monitor_)
+        reg.set("monitor", monitor_->toJson());
+    if (recorder_) {
+        reg.set("flight_recorder.window", Json(recorder_->size()));
+        reg.set("flight_recorder.recorded", Json(recorder_->recorded()));
+        reg.set("flight_recorder.dropped", Json(recorder_->dropped()));
+    }
+    if (sampler_)
+        reg.set("sampler.samples",
+                Json(std::uint64_t{sampler_->sampleCount()}));
     r.stats_json = reg.dump(1);
     return r;
 }

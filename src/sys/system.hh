@@ -39,6 +39,27 @@ struct SystemCfg
     bool trace = false;
     /** With trace: also record every event-queue firing (noisy). */
     bool trace_queue_events = true;
+    /** Run the online invariant monitor (see obs/monitor.hh). */
+    bool monitor = false;
+    /** Keep the bounded flight-recorder ring (see obs/recorder.hh). */
+    bool flight_recorder = false;
+    /** Flight-recorder ring capacity, in events. */
+    std::size_t flight_recorder_capacity = 4096;
+    /** Period of the time-series sampler, in ticks; 0 = off. */
+    Tick sample_interval = 0;
+    /**
+     * Largest monitored execution still rendered as a DOT hb witness
+     * by the failure dump; beyond it the .hb.dot notes the omission.
+     */
+    static constexpr std::size_t max_witness_dot_ops = 5000;
+    /**
+     * On a monitor hardware violation or a deadlocked/livelocked
+     * termination, write evidence files `<prefix>.trace.json` (the
+     * flight-recorder window, or the full trace when no recorder),
+     * `<prefix>.hb.dot` and `<prefix>.monitor.txt` (when the monitor is
+     * on).  Empty = never dump.
+     */
+    std::string dump_on_fail;
 };
 
 /** What a run produced. */
@@ -60,6 +81,15 @@ struct SystemResult
      * stall attribution) rendered as JSON; see docs/OBSERVABILITY.md.
      */
     std::string stats_json;
+
+    // Online monitor results (all zero / empty when the monitor is off).
+    std::uint64_t monitor_violations = 0;    //!< total findings
+    std::uint64_t monitor_hw_violations = 0; //!< hardware-blaming findings
+    std::uint64_t monitor_races = 0;         //!< software races
+    std::string monitor_report;              //!< human-readable verdict
+
+    /** Sampler time series as CSV (empty when sampling is off). */
+    std::string sampler_csv;
 
     /** Sum of a named counter over all cpus (convenience for benches). */
     std::uint64_t cpu_stat_total(const std::string &name) const;
@@ -103,14 +133,33 @@ class System
     /** The observability hub (trace export, stall attribution). */
     const Obs &obs() const { return *obs_; }
 
+    /** The online monitor, or nullptr when cfg.monitor is off. */
+    const Monitor *monitor() const { return monitor_.get(); }
+
+    /** The flight recorder, or nullptr when cfg.flight_recorder is off. */
+    const FlightRecorder *recorder() const { return recorder_.get(); }
+
+    /** The periodic sampler, or nullptr when cfg.sample_interval is 0. */
+    const Sampler *sampler() const { return sampler_.get(); }
+
   private:
     /** Assemble the final memory image from caches and memory. */
     std::vector<Value> finalMemory() const;
+
+    /**
+     * Write the evidence files configured by cfg.dump_on_fail (no-op
+     * when the prefix is empty or a dump already happened this run).
+     */
+    void dumpEvidence(const char *why);
 
     const Program &prog_;
     SystemCfg cfg_;
     EventQueue eq_;
     std::unique_ptr<Obs> obs_;
+    std::unique_ptr<Monitor> monitor_;
+    std::unique_ptr<FlightRecorder> recorder_;
+    std::unique_ptr<Sampler> sampler_;
+    bool evidence_dumped_ = false;
     std::unique_ptr<Network> net_;
     std::unique_ptr<Directory> dir_;
     std::vector<std::unique_ptr<Cache>> caches_;

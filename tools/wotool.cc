@@ -16,11 +16,25 @@
  *     wotool run     <file> [--policy sc|def1|drf0|drf0ro] [--hop N]
  *                    [--jitter N] [--seed N] [--trace]
  *                    [--trace-json F] [--trace-jsonl F] [--stats-json F]
+ *                    [--monitor] [--flight-recorder] [--flight-capacity N]
+ *                    [--sample-interval N] [--sample-csv F]
+ *                    [--dump-on-fail PREFIX] [--max-events N]
  *         Execute on the timed cache-coherent system; print the outcome,
  *         timing and statistics.  --trace-json writes a Chrome
  *         trace-event file (load it in Perfetto / chrome://tracing),
  *         --trace-jsonl a compact line-oriented log, --stats-json the
- *         unified metrics tree (see docs/OBSERVABILITY.md).
+ *         unified metrics tree (see docs/OBSERVABILITY.md).  --monitor
+ *         turns on the online SC/DRF0 invariant monitor,
+ *         --flight-recorder the bounded always-on event ring,
+ *         --sample-interval the periodic counter sampler, and
+ *         --dump-on-fail the failure-evidence dump (PREFIX.trace.json,
+ *         PREFIX.hb.dot, PREFIX.monitor.txt).
+ *
+ *     wotool monitor <file> [run options above]
+ *         Run with the online monitor always on and print its verdict.
+ *         Exit 0 when the run completed with no hardware violation
+ *         (races are reported but, per Definition 2, blame software),
+ *         1 on a hardware violation or a failed run.
  *
  *     wotool stats   <file> [--policy sc|def1|drf0|drf0ro]
  *         Run and print the metrics JSON to stdout.
@@ -60,8 +74,8 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: wotool <check|explore|verify|run|disasm> <file> "
-                 "[options]\n"
+                 "usage: wotool <check|explore|verify|run|monitor|disasm> "
+                 "<file> [options]\n"
                  "  check   [--weak]\n"
                  "  explore [--model sc|wb|net|stale|def1|drf0|drf0ro]\n"
                  "  verify  [--model wb|net|stale|def1|drf0|drf0ro]\n"
@@ -69,6 +83,12 @@ usage()
                  "          [--jitter N] [--seed N] [--trace] [--dot F]\n"
                  "          [--save-trace F] [--trace-json F]\n"
                  "          [--trace-jsonl F] [--stats-json F]\n"
+                 "          [--monitor] [--flight-recorder]\n"
+                 "          [--flight-capacity N] [--sample-interval N]\n"
+                 "          [--sample-csv F] [--dump-on-fail PREFIX]\n"
+                 "          [--max-events N]\n"
+                 "  monitor [run options]  (always-on monitor verdict;\n"
+                 "          exit 1 on hardware violation or failed run)\n"
                  "  stats   [--policy sc|def1|drf0|drf0ro]  (metrics JSON\n"
                  "          on stdout)\n"
                  "  lockset\n"
@@ -216,19 +236,65 @@ emitFile(const char *path, const std::string &text, const char *what)
     return 0;
 }
 
-int
-cmdRun(const AsmResult &a, int argc, char **argv)
+/** Shared option parsing for the run/monitor subcommands. */
+bool
+parseRunCfg(int argc, char **argv, SystemCfg &cfg)
 {
-    const Program &prog = *a.program;
-    SystemCfg cfg;
     if (!parsePolicy(argc, argv, cfg.policy))
-        return 2;
+        return false;
     if (const char *v = opt(argc, argv, "--hop"))
         cfg.net.hop_latency = std::strtoull(v, nullptr, 0);
     if (const char *v = opt(argc, argv, "--jitter"))
         cfg.net.jitter = std::strtoull(v, nullptr, 0);
     if (const char *v = opt(argc, argv, "--seed"))
         cfg.net.seed = std::strtoull(v, nullptr, 0);
+    cfg.monitor = flag(argc, argv, "--monitor");
+    cfg.flight_recorder = flag(argc, argv, "--flight-recorder");
+    if (const char *v = opt(argc, argv, "--flight-capacity")) {
+        cfg.flight_recorder = true;
+        cfg.flight_recorder_capacity = std::strtoull(v, nullptr, 0);
+        if (cfg.flight_recorder_capacity == 0) {
+            std::fprintf(stderr, "--flight-capacity must be positive\n");
+            return false;
+        }
+    }
+    if (const char *v = opt(argc, argv, "--sample-interval"))
+        cfg.sample_interval = std::strtoull(v, nullptr, 0);
+    if (const char *v = opt(argc, argv, "--dump-on-fail"))
+        cfg.dump_on_fail = v;
+    if (const char *v = opt(argc, argv, "--max-events")) {
+        cfg.max_events = std::strtoull(v, nullptr, 0);
+        if (cfg.max_events == 0) {
+            std::fprintf(stderr, "--max-events must be positive\n");
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Post-run artifact emission common to run/monitor. */
+int
+emitRunArtifacts(const SystemResult &r, int argc, char **argv)
+{
+    if (const char *path = opt(argc, argv, "--sample-csv")) {
+        if (r.sampler_csv.empty()) {
+            std::fprintf(stderr,
+                         "--sample-csv requires --sample-interval N\n");
+            return 2;
+        }
+        if (int rc = emitFile(path, r.sampler_csv, "sampler CSV"))
+            return rc;
+    }
+    return 0;
+}
+
+int
+cmdRun(const AsmResult &a, int argc, char **argv)
+{
+    const Program &prog = *a.program;
+    SystemCfg cfg;
+    if (!parseRunCfg(argc, argv, cfg))
+        return 2;
     const char *trace_json = opt(argc, argv, "--trace-json");
     const char *trace_jsonl = opt(argc, argv, "--trace-jsonl");
     const char *stats_json = opt(argc, argv, "--stats-json");
@@ -247,6 +313,8 @@ cmdRun(const AsmResult &a, int argc, char **argv)
     std::printf("outcome: %s\n", r.outcome.toString().c_str());
     auto sc = checkSequentialConsistency(r.execution);
     std::printf("execution is %sSC-explainable\n", sc.sc ? "" : "NOT ");
+    if (cfg.monitor)
+        std::fputs(r.monitor_report.c_str(), stdout);
     if (flag(argc, argv, "--trace")) {
         std::printf("trace:\n%s", r.execution.toString().c_str());
         std::printf("stats:\n%s", r.stats.c_str());
@@ -287,7 +355,45 @@ cmdRun(const AsmResult &a, int argc, char **argv)
         if (int rc = emitFile(stats_json, r.stats_json + "\n",
                               "metrics JSON"))
             return rc;
-    return r.completed ? 0 : 1;
+    if (int rc = emitRunArtifacts(r, argc, argv))
+        return rc;
+    // A run fails when it never finished, when it produced a
+    // non-SC-explainable history, or when the monitor caught the
+    // hardware red-handed.
+    if (!r.completed || !sc.sc)
+        return 1;
+    if (cfg.monitor && r.monitor_hw_violations > 0)
+        return 1;
+    return 0;
+}
+
+int
+cmdMonitor(const AsmResult &a, int argc, char **argv)
+{
+    const Program &prog = *a.program;
+    SystemCfg cfg;
+    if (!parseRunCfg(argc, argv, cfg))
+        return 2;
+    cfg.monitor = true;
+
+    System sys(prog, cfg);
+    for (const auto &w : a.warm)
+        sys.warmShared(w.addr, w.procs);
+    auto r = sys.run();
+    std::printf("%s under %s: %s, finish tick %llu\n",
+                prog.name().c_str(), policyName(cfg.policy),
+                r.completed
+                    ? "completed"
+                    : (r.deadlocked ? "DEADLOCKED" : "LIVELOCKED"),
+                static_cast<unsigned long long>(r.finish_tick));
+    std::printf("outcome: %s\n", r.outcome.toString().c_str());
+    std::fputs(r.monitor_report.c_str(), stdout);
+    if (int rc = emitRunArtifacts(r, argc, argv))
+        return rc;
+    // Races blame software (Definition 2 voids the contract), so a
+    // racy-but-hardware-clean run still exits 0; only a broken run or
+    // a hardware violation is a failure.
+    return (r.completed && r.monitor_hw_violations == 0) ? 0 : 1;
 }
 
 int
@@ -395,6 +501,8 @@ toolMain(int argc, char **argv)
         return cmdVerify(prog, argc, argv);
     if (cmd == "run")
         return cmdRun(a, argc, argv);
+    if (cmd == "monitor")
+        return cmdMonitor(a, argc, argv);
     if (cmd == "stats")
         return cmdStats(a, argc, argv);
     if (cmd == "lockset") {
