@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Throughput scaling of the campaign engine: the same fixed cell
+ * budget fanned over 1, 2 and 4 workers.  Cells are embarrassingly
+ * parallel (each is an independent simulated run), so cells/sec should
+ * scale close to linearly with the worker count on a multi-core host;
+ * the artifact records the absolute rates and the speedups so CI can
+ * watch the work-stealing scheduler's overhead.  On a single-core
+ * host the extra workers can only interleave, so the speedup column
+ * degrades gracefully toward 1x -- the artifact is honest either way.
+ */
+
+#include <cstdio>
+
+#include "campaign/scheduler.hh"
+#include "common/table.hh"
+#include "obs/artifact.hh"
+
+namespace wo {
+namespace {
+
+constexpr std::uint64_t cells = 2000;
+
+CampaignSummary
+runAt(int jobs, const std::string &tag)
+{
+    CampaignCfg cfg;
+    cfg.jobs = jobs;
+    cfg.cells = cells;
+    cfg.out_dir = "bench-campaign-out/" + tag;
+    cfg.seed = 7;
+    cfg.max_events = 200'000;
+    cfg.shrink = false; // conforming hardware: nothing to shrink
+    auto sum = runCampaign(cfg);
+    if (!sum.hardwareClean())
+        wo_panic("bench_campaign: conforming hardware reported a "
+                 "violation");
+    return sum;
+}
+
+} // namespace
+} // namespace wo
+
+int
+main()
+{
+    using namespace wo;
+
+    std::printf("== campaign throughput: %llu cells at 1/2/4 workers "
+                "==\n",
+                static_cast<unsigned long long>(cells));
+    const CampaignSummary s1 = runAt(1, "j1");
+    const CampaignSummary s2 = runAt(2, "j2");
+    const CampaignSummary s4 = runAt(4, "j4");
+    const auto speedup = [&](const CampaignSummary &s) {
+        return s.wall_s > 0 ? s1.wall_s / s.wall_s : 0.0;
+    };
+
+    Table t({"workers", "wall s", "cells/s", "speedup vs 1"});
+    const struct
+    {
+        int jobs;
+        const CampaignSummary &s;
+    } rows[] = {{1, s1}, {2, s2}, {4, s4}};
+    for (const auto &row : rows)
+        t.addRow({strprintf("%d", row.jobs),
+                  strprintf("%.2f", row.s.wall_s),
+                  strprintf("%.1f", row.s.cells_per_sec),
+                  strprintf("%.2fx", speedup(row.s))});
+    t.print();
+    std::printf("Read: a cell is one full simulated run, so the fleet "
+                "is embarrassingly parallel; speedup tracks the "
+                "physical core count.\n");
+
+    Json payload = Json::object();
+    payload.set("cells", Json(cells));
+    payload.set("jobs1_wall_s", Json(s1.wall_s));
+    payload.set("jobs2_wall_s", Json(s2.wall_s));
+    payload.set("jobs4_wall_s", Json(s4.wall_s));
+    payload.set("jobs1_cells_per_sec", Json(s1.cells_per_sec));
+    payload.set("jobs2_cells_per_sec", Json(s2.cells_per_sec));
+    payload.set("jobs4_cells_per_sec", Json(s4.cells_per_sec));
+    payload.set("speedup_2", Json(speedup(s2)));
+    payload.set("speedup_4", Json(speedup(s4)));
+    payload.set("table", tableToJson(t));
+    writeBenchArtifact("campaign", std::move(payload));
+    return 0;
+}

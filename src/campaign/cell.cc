@@ -1,0 +1,263 @@
+#include "cell.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+#include "program/litmus.hh"
+
+namespace wo {
+
+std::string
+fnv1aHex(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return strprintf("%016llx", static_cast<unsigned long long>(h));
+}
+
+bool
+parsePolicyName(const std::string &name, OrderingPolicy &out)
+{
+    if (name == "sc")
+        out = OrderingPolicy::sc;
+    else if (name == "def1")
+        out = OrderingPolicy::wo_def1;
+    else if (name == "drf0")
+        out = OrderingPolicy::wo_drf0;
+    else if (name == "drf0ro")
+        out = OrderingPolicy::wo_drf0_ro;
+    else
+        return false;
+    return true;
+}
+
+const char *
+policyFlagName(OrderingPolicy p)
+{
+    switch (p) {
+      case OrderingPolicy::sc: return "sc";
+      case OrderingPolicy::wo_def1: return "def1";
+      case OrderingPolicy::wo_drf0: return "drf0";
+      case OrderingPolicy::wo_drf0_ro: return "drf0ro";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Keys are embedded in JSONL unescaped: keep them to a safe charset. */
+std::string
+sanitizeSpec(const std::string &spec)
+{
+    std::string out;
+    out.reserve(spec.size());
+    for (char c : spec) {
+        const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' || c == '/' ||
+                          c == '-' || c == '_' || c == '+';
+        out += safe ? c : '_';
+    }
+    return out;
+}
+
+std::string
+sourceTag(const Cell &c)
+{
+    switch (c.source) {
+      case CellSource::file:
+        return "file:" + sanitizeSpec(c.spec);
+      case CellSource::litmus:
+        return "litmus:" + sanitizeSpec(c.spec);
+      case CellSource::drf0_rand:
+        return strprintf(
+            "drf0:p%ur%ul%uv%us%do%dq%dt%dw%lldg%llu", c.drf0.procs,
+            c.drf0.regions, c.drf0.locs_per_region, c.drf0.private_locs,
+            c.drf0.sections, c.drf0.ops_per_section, c.drf0.private_ops,
+            c.drf0.test_and_tas ? 1 : 0,
+            static_cast<long long>(c.drf0.work_cycles),
+            static_cast<unsigned long long>(c.drf0.seed));
+      case CellSource::racy_rand:
+        return strprintf("racy:p%ul%uo%dg%llu", c.racy.procs, c.racy.locs,
+                         c.racy.ops_per_thread,
+                         static_cast<unsigned long long>(c.racy.seed));
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Cell::key() const
+{
+    std::string k = programId() +
+                    strprintf("|n%llu|h%llu|j%llu",
+                              static_cast<unsigned long long>(net_seed),
+                              static_cast<unsigned long long>(hop),
+                              static_cast<unsigned long long>(jitter));
+    if (inject_reserve_bug)
+        k += "|BUG";
+    return k;
+}
+
+std::string
+Cell::programId() const
+{
+    return sourceTag(*this) + "|" + policyFlagName(policy);
+}
+
+std::string
+Cell::familyId() const
+{
+    switch (source) {
+      case CellSource::file: return "file:" + sanitizeSpec(spec);
+      case CellSource::litmus: return "litmus:" + sanitizeSpec(spec);
+      case CellSource::drf0_rand: return "drf0-rand";
+      case CellSource::racy_rand: return "racy-rand";
+    }
+    return "?";
+}
+
+SystemCfg
+Cell::systemCfg(std::uint64_t max_events) const
+{
+    SystemCfg cfg;
+    cfg.policy = policy;
+    cfg.net.seed = net_seed;
+    cfg.net.hop_latency = hop;
+    cfg.net.jitter = jitter;
+    cfg.cache.bug_drop_reserve_clear = inject_reserve_bug;
+    cfg.monitor = true;
+    cfg.quiet = true;
+    cfg.max_events = max_events;
+    return cfg;
+}
+
+const std::vector<LitmusCorpusEntry> &
+litmusCorpus()
+{
+    static const std::vector<LitmusCorpusEntry> corpus = {
+        {"fig1", &litmus::fig1StoreBuffer},
+        {"mp", &litmus::messagePassing},
+        {"mp_sync", &litmus::messagePassingSync},
+        {"corr", &litmus::coherenceCoRR},
+        {"iriw", &litmus::iriw},
+        {"lb", &litmus::loadBuffering},
+        {"wrc", &litmus::wrc},
+        {"2+2w", &litmus::twoPlusTwoW},
+        {"s", &litmus::sShape},
+        {"coww", &litmus::coWW},
+        {"fig3", []() { return litmus::fig3Scenario(2); }},
+        {"fig3_tt", []() { return litmus::fig3ScenarioTestAndTas(2); }},
+        {"counter2x2", []() { return litmus::lockedCounter(2, 2); }},
+        {"counter_tas", []() { return litmus::lockedCounter(2, 2, true); }},
+        {"racy_counter", []() { return litmus::racyCounter(2, 2); }},
+        {"barrier3", []() { return litmus::barrier(3); }},
+        {"pingpong", []() { return litmus::pingPong(3); }},
+    };
+    return corpus;
+}
+
+MaterializedCell
+materializeCell(const Cell &cell)
+{
+    MaterializedCell m;
+    switch (cell.source) {
+      case CellSource::file: {
+          AsmResult a = assembleFile(cell.spec);
+          if (!a.ok()) {
+              m.error = cell.spec + ": ";
+              m.error += a.errors.empty() ? "unreadable"
+                                          : a.errors[0].toString();
+              return m;
+          }
+          m.program = std::move(a.program);
+          m.warm = std::move(a.warm);
+          return m;
+      }
+      case CellSource::litmus: {
+          for (const auto &e : litmusCorpus())
+              if (cell.spec == e.name) {
+                  m.program = e.make();
+                  return m;
+              }
+          m.error = "unknown litmus corpus entry '" + cell.spec + "'";
+          return m;
+      }
+      case CellSource::drf0_rand:
+        m.program = randomDrf0Program(cell.drf0);
+        return m;
+      case CellSource::racy_rand:
+        m.program = randomRacyProgram(cell.racy);
+        return m;
+    }
+    m.error = "corrupt cell source";
+    return m;
+}
+
+std::string
+CellResult::verdict() const
+{
+    if (hw > 0)
+        return "hw:" + (primary_kind.empty() ? std::string("?")
+                                             : primary_kind);
+    if (!completed && primary_kind == "materialize_error")
+        return "error";
+    if (deadlocked)
+        return "deadlock";
+    if (livelocked)
+        return "livelock";
+    if (races > 0)
+        return "race";
+    return "clean";
+}
+
+CellRun
+runCell(const Cell &cell, std::uint64_t max_events)
+{
+    CellRun run;
+    CellResult &r = run.result;
+    r.key = cell.key();
+
+    MaterializedCell m = materializeCell(cell);
+    if (!m.ok()) {
+        r.primary_kind = "materialize_error";
+        return run;
+    }
+    run.program = std::move(m.program);
+    run.warm = std::move(m.warm);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    System sys(*run.program, cell.systemCfg(max_events));
+    for (const auto &w : run.warm)
+        sys.warmShared(w.addr, w.procs);
+    SystemResult sr = sys.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    r.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    r.completed = sr.completed;
+    r.deadlocked = sr.deadlocked;
+    r.livelocked = sr.livelocked;
+    r.finish_tick = sr.finish_tick;
+    r.outcome_sig = fnv1aHex(sr.outcome.toString());
+
+    const Monitor *mon = sys.monitor();
+    MonitorSummary s = mon->summary();
+    r.hw = s.hardware;
+    r.races = s.races;
+    r.total = s.total;
+    for (int k = 0; k < num_violation_kinds; ++k)
+        r.by_kind[k] = s.by_kind[k];
+    // First *recorded* hardware-blaming violation names the failure.
+    for (const auto &v : mon->violations())
+        if (violationBlamesHardware(v.kind)) {
+            r.primary_kind = violationKindName(v.kind);
+            break;
+        }
+    return run;
+}
+
+} // namespace wo

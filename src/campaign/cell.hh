@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The unit of campaign work: one *cell* = program source x ordering
+ * policy x timing seed.  The paper's Definition 2 quantifies over every
+ * DRF0 program, so confidence comes from running many cells, not one;
+ * a campaign (see scheduler.hh) fans thousands of cells over a worker
+ * fleet, each executing the full timed system with the online monitor
+ * attached and reducing the run to a compact CellResult verdict.
+ *
+ * A cell's program comes from one of four sources: an assembly file on
+ * disk, a named litmus:: factory, or a fresh randomDrf0Program /
+ * randomRacyProgram draw from its embedded shape configuration.  Every
+ * cell renders to a stable, filesystem- and JSON-safe key string; the
+ * journal (journal.hh) uses the key to skip finished cells on resume,
+ * so the key must identify the run exactly (same key, same verdict
+ * modulo host scheduling).
+ */
+
+#ifndef WO_CAMPAIGN_CELL_HH
+#define WO_CAMPAIGN_CELL_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "obs/monitor.hh"
+#include "program/program.hh"
+#include "program/workload.hh"
+#include "sys/policy.hh"
+#include "sys/system.hh"
+
+namespace wo {
+
+/** Where a cell's program comes from. */
+enum class CellSource : std::uint8_t
+{
+    file,      //!< a .wo assembly file (spec = path)
+    litmus,    //!< a litmus:: factory (spec = corpus name)
+    drf0_rand, //!< randomDrf0Program(drf0)
+    racy_rand, //!< randomRacyProgram(racy)
+};
+
+/** One unit of campaign work. */
+struct Cell
+{
+    CellSource source = CellSource::litmus;
+    std::string spec;           //!< file path or litmus corpus name
+    Drf0WorkloadCfg drf0;       //!< shape when source == drf0_rand
+    RacyWorkloadCfg racy;       //!< shape when source == racy_rand
+    OrderingPolicy policy = OrderingPolicy::wo_drf0;
+    std::uint64_t net_seed = 1; //!< interconnect jitter seed
+    Tick hop = 10;              //!< network hop latency
+    Tick jitter = 0;            //!< network jitter bound
+    bool inject_reserve_bug = false; //!< seeded fault campaigns
+
+    /**
+     * The stable journal/dedup key, e.g.
+     * "litmus:iriw|WO-DRF0|n7|h10|j2".  Random sources encode their
+     * full shape: "drf0:p2r1l2v1s2o2t1w0g42|...".
+     */
+    std::string key() const;
+
+    /**
+     * The key with the timing coordinates (net seed / hop / jitter)
+     * stripped: identifies the *program x policy*, so outcome-set
+     * novelty can be tracked across timing seeds.
+     */
+    std::string programId() const;
+
+    /**
+     * The coarse program family ("litmus:iriw", "drf0-rand", ...):
+     * verdict novelty is tracked per family, so one family producing a
+     * verdict kind for the first time earns fuzz energy.
+     */
+    std::string familyId() const;
+
+    /** The timed-system configuration this cell runs under. */
+    SystemCfg systemCfg(std::uint64_t max_events) const;
+};
+
+/** A materialized cell program, or why it could not be built. */
+struct MaterializedCell
+{
+    std::optional<Program> program;
+    std::vector<WarmTerm> warm; //!< 'warm' directives (file cells only)
+    std::string error;          //!< non-empty on failure
+
+    bool ok() const { return program.has_value() && error.empty(); }
+};
+
+/** Build the cell's program (parses, calls the factory, or generates). */
+MaterializedCell materializeCell(const Cell &cell);
+
+/** A named entry of the built-in litmus corpus. */
+struct LitmusCorpusEntry
+{
+    const char *name;
+    Program (*make)();
+};
+
+/** The built-in litmus corpus (stable names; used in cell keys). */
+const std::vector<LitmusCorpusEntry> &litmusCorpus();
+
+/** What one cell's run reduced to. */
+struct CellResult
+{
+    std::string key;
+    bool completed = false;
+    bool deadlocked = false;
+    bool livelocked = false;
+    std::uint64_t hw = 0;     //!< hardware-blaming monitor violations
+    std::uint64_t races = 0;  //!< software races (contract void)
+    std::uint64_t total = 0;  //!< all monitor findings
+    std::uint64_t by_kind[num_violation_kinds] = {};
+    std::string primary_kind; //!< first hardware kind raised (or empty)
+    std::string outcome_sig;  //!< 64-bit FNV hash of the final outcome
+    Tick finish_tick = 0;
+    double wall_ms = 0;       //!< host wall-clock cost of the cell
+
+    /** Did the hardware break the Definition-2 contract? */
+    bool hardwareFailure() const { return hw > 0; }
+
+    /** "clean" | "race" | "hw:<kind>" | "deadlock" | "livelock". */
+    std::string verdict() const;
+};
+
+/**
+ * Run one cell to a verdict: materialize, simulate under the online
+ * monitor, reduce.  Materialization errors surface as a failed cell
+ * with verdict "deadlock" never -- they produce hw == 0, completed ==
+ * false and primary_kind == "materialize_error".
+ */
+struct CellRun
+{
+    CellResult result;
+    std::optional<Program> program; //!< kept for the shrinker
+    std::vector<WarmTerm> warm;
+};
+
+CellRun runCell(const Cell &cell, std::uint64_t max_events);
+
+/** 64-bit FNV-1a over @p text, rendered as 16 hex digits. */
+std::string fnv1aHex(const std::string &text);
+
+/** Parse "sc" / "def1" / "drf0" / "drf0ro"; false on unknown text. */
+bool parsePolicyName(const std::string &name, OrderingPolicy &out);
+
+/** The flag-style name of a policy ("sc", "def1", "drf0", "drf0ro"). */
+const char *policyFlagName(OrderingPolicy p);
+
+} // namespace wo
+
+#endif // WO_CAMPAIGN_CELL_HH

@@ -1,0 +1,146 @@
+#include "fuzzer.hh"
+
+#include "common/random.hh"
+
+namespace wo {
+
+namespace {
+
+/** SplitMix64: the stream mix used to derive per-index coordinates. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a, so mutant derivation is identical on every platform. */
+std::uint64_t
+fnv64(const std::string &text)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+Fuzzer::Fuzzer(const FuzzerCfg &cfg) : cfg_(cfg)
+{
+    for (const auto &e : litmusCorpus()) {
+        Cell c;
+        c.source = CellSource::litmus;
+        c.spec = e.name;
+        prototypes_.push_back(std::move(c));
+    }
+    for (const std::string &path : cfg_.program_files) {
+        Cell c;
+        c.source = CellSource::file;
+        c.spec = path;
+        prototypes_.push_back(std::move(c));
+    }
+    // Random generator prototypes: the seed of each draw comes from the
+    // stream index, so these stand for whole program families.
+    {
+        Cell c;
+        c.source = CellSource::drf0_rand;
+        prototypes_.push_back(c);
+        c.source = CellSource::racy_rand;
+        prototypes_.push_back(c);
+    }
+}
+
+Cell
+Fuzzer::baseCell(std::uint64_t index) const
+{
+    const std::uint64_t h = mix64(cfg_.seed * 0x51ed2701u + index);
+    Cell cell = prototypes_[index % prototypes_.size()];
+    cell.policy = cfg_.policies[(index / prototypes_.size()) %
+                                cfg_.policies.size()];
+    cell.net_seed = (h % 1024) + 1;
+    cell.jitter = (h >> 10) % 4;
+    cell.hop = 3 + (h >> 12) % 3; // small hops keep cells fast
+    cell.inject_reserve_bug = cfg_.inject_reserve_bug;
+    if (cell.source == CellSource::drf0_rand) {
+        cell.drf0.seed = h | 1;
+        cell.drf0.procs = 2 + (h >> 16) % 2;
+        cell.drf0.sections = 1 + (h >> 20) % 2;
+    } else if (cell.source == CellSource::racy_rand) {
+        cell.racy.seed = h | 1;
+        cell.racy.procs = 2 + (h >> 16) % 2;
+        cell.racy.ops_per_thread = 2 + (h >> 20) % 3;
+    }
+    return cell;
+}
+
+std::vector<Cell>
+Fuzzer::observe(const Cell &cell, const CellResult &r)
+{
+    int energy = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const bool new_verdict =
+            seen_verdicts_.insert(cell.familyId() + "|" + r.verdict())
+                .second;
+        const bool new_outcome =
+            seen_outcomes_
+                .insert(cell.programId() + "|" + r.outcome_sig)
+                .second;
+        novelty_ += (new_verdict ? 1 : 0) + (new_outcome ? 1 : 0);
+        if (r.hardwareFailure())
+            energy = 4; // chase the bug's neighborhood hardest
+        else if (new_verdict)
+            energy = 3;
+        else if (new_outcome)
+            energy = 2;
+    }
+    if (energy == 0)
+        return {};
+
+    // Mutants derive from the cell key, so equal discoveries breed
+    // equal neighborhoods no matter which worker observed them.
+    Rng rng(mix64(cfg_.seed ^ fnv64(r.key)));
+    std::vector<Cell> mutants;
+    for (int i = 0; i < energy; ++i) {
+        Cell m = cell;
+        switch (rng.below(4)) {
+          case 0: // shape mutation (random sources only; else timing)
+            if (m.source == CellSource::drf0_rand) {
+                m.drf0 = mutateDrf0Cfg(m.drf0, rng);
+                break;
+            }
+            if (m.source == CellSource::racy_rand) {
+                m.racy = mutateRacyCfg(m.racy, rng);
+                break;
+            }
+            [[fallthrough]];
+          case 1:
+            m.net_seed = rng.below(1 << 20) + 1;
+            break;
+          case 2:
+            m.jitter = rng.below(5);
+            m.net_seed = rng.below(1 << 20) + 1;
+            break;
+          default:
+            m.policy = cfg_.policies[rng.below(cfg_.policies.size())];
+            m.net_seed = rng.below(1 << 20) + 1;
+            break;
+        }
+        mutants.push_back(std::move(m));
+    }
+    return mutants;
+}
+
+std::uint64_t
+Fuzzer::noveltyCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return novelty_;
+}
+
+} // namespace wo

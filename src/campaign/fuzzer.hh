@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The fuzz frontier of a campaign.
+ *
+ * Two jobs: (1) enumerate a deterministic *base stream* of cells --
+ * litmus corpus entries, user-supplied .wo files, and random
+ * DRF0/racy generator draws, crossed with the campaign's policies and
+ * a derived sequence of timing seeds.  Index i of the stream depends
+ * only on (campaign seed, i), never on scheduling, so a resumed
+ * campaign regenerates the identical stream and the journal can skip
+ * finished cells by key.  (2) Turn interesting verdicts into new work:
+ * a cell that produced a verdict kind its family had not shown, a new
+ * outcome signature for its program, or an outright hardware failure
+ * earns fuzz energy, and the observing worker pushes mutated neighbors
+ * (new shapes via the workload mutation hooks, new timing seeds,
+ * rotated policies) onto its own work-stealing deque.
+ */
+
+#ifndef WO_CAMPAIGN_FUZZER_HH
+#define WO_CAMPAIGN_FUZZER_HH
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/cell.hh"
+
+namespace wo {
+
+/** Campaign-level fuzzing parameters. */
+struct FuzzerCfg
+{
+    std::uint64_t seed = 1;
+    std::vector<OrderingPolicy> policies = {
+        OrderingPolicy::sc, OrderingPolicy::wo_def1,
+        OrderingPolicy::wo_drf0};
+    std::vector<std::string> program_files; //!< extra .wo corpus
+    bool inject_reserve_bug = false;        //!< propagate to every cell
+};
+
+/** The frontier: deterministic base stream + novelty-guided mutation. */
+class Fuzzer
+{
+  public:
+    explicit Fuzzer(const FuzzerCfg &cfg);
+
+    /**
+     * Cell @p index of the base stream.  A pure function of the
+     * campaign seed and @p index (see file comment).
+     */
+    Cell baseCell(std::uint64_t index) const;
+
+    /**
+     * Digest one finished cell.  Returns the mutants this result
+     * earned (empty for boring results).  Thread-safe.
+     */
+    std::vector<Cell> observe(const Cell &cell, const CellResult &r);
+
+    /** Distinct (program, outcome) and (family, verdict) pairs seen. */
+    std::uint64_t noveltyCount() const;
+
+  private:
+    std::vector<Cell> prototypes_; //!< one per corpus entry
+    FuzzerCfg cfg_;
+
+    mutable std::mutex mu_;
+    std::set<std::string> seen_outcomes_; //!< programId|sig
+    std::set<std::string> seen_verdicts_; //!< familyId|verdict
+    std::uint64_t novelty_ = 0;
+};
+
+} // namespace wo
+
+#endif // WO_CAMPAIGN_FUZZER_HH

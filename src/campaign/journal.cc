@@ -1,0 +1,166 @@
+#include "journal.hh"
+
+#include "common/logging.hh"
+
+namespace wo {
+
+Journal::~Journal()
+{
+    if (f_)
+        std::fclose(f_);
+}
+
+void
+Journal::load()
+{
+    std::FILE *f = std::fopen(path_.c_str(), "rb");
+    if (!f)
+        return;
+    std::string text;
+    char buf[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            break; // a line without \n was cut mid-write: ignore it
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        JsonParseResult p = jsonParse(line);
+        if (!p.ok || !p.value.isObject())
+            continue; // crash-truncated or corrupt: skip
+        const Json *type = p.value.find("type");
+        if (!type || !type->isString())
+            continue;
+        if (type->stringValue() == "cell") {
+            if (const Json *k = p.value.find("key"))
+                if (k->isString())
+                    done_.insert(k->stringValue());
+        } else if (type->stringValue() == "failure") {
+            const Json *dedup = p.value.find("dedup");
+            if (!dedup || !dedup->isString())
+                continue;
+            JournalFailure &rec = failures_[dedup->stringValue()];
+            ++rec.count;
+            if (const Json *k = p.value.find("kind"))
+                if (k->isString())
+                    rec.kind = k->stringValue();
+            if (const Json *fl = p.value.find("file"))
+                if (fl->isString() && !fl->stringValue().empty())
+                    rec.file = fl->stringValue();
+            if (const Json *i = p.value.find("insns"))
+                if (i->isNumber() && rec.insns == 0)
+                    rec.insns = static_cast<std::size_t>(i->uintValue());
+        }
+    }
+}
+
+bool
+Journal::open(bool fresh)
+{
+    f_ = std::fopen(path_.c_str(), fresh ? "wb" : "ab");
+    if (!f_) {
+        warn("cannot open campaign journal '%s'", path_.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+Journal::appendLine(const Json &j)
+{
+    if (!f_)
+        return;
+    const std::string line = j.dump() + "\n";
+    std::fwrite(line.data(), 1, line.size(), f_);
+    std::fflush(f_); // crash safety: the line is the commit point
+}
+
+void
+Journal::writeHeader(Json meta)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Json j = Json::object();
+    j.set("type", Json("campaign"));
+    for (const auto &[k, v] : meta.members())
+        j.set(k, v);
+    appendLine(j);
+}
+
+bool
+Journal::done(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_.count(key) > 0;
+}
+
+std::size_t
+Journal::doneCells() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return done_.size();
+}
+
+void
+Journal::appendCell(const CellResult &r)
+{
+    Json j = Json::object();
+    j.set("type", Json("cell"));
+    j.set("key", Json(r.key));
+    j.set("verdict", Json(r.verdict()));
+    j.set("hw", Json(r.hw));
+    j.set("races", Json(r.races));
+    j.set("sig", Json(r.outcome_sig));
+    j.set("tick", Json(r.finish_tick));
+    j.set("ms", Json(r.wall_ms));
+    if (!r.primary_kind.empty())
+        j.set("kind", Json(r.primary_kind));
+
+    std::lock_guard<std::mutex> lock(mu_);
+    done_.insert(r.key);
+    appendLine(j);
+}
+
+bool
+Journal::recordFailure(const std::string &dedup, const std::string &kind,
+                       const std::string &cell_key,
+                       const std::string &file, std::size_t insns,
+                       std::size_t orig_insns)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    JournalFailure &rec = failures_[dedup];
+    const bool first = rec.count == 0;
+    ++rec.count;
+    if (first) {
+        rec.kind = kind;
+        rec.file = file;
+        rec.insns = insns;
+    }
+
+    Json j = Json::object();
+    j.set("type", Json("failure"));
+    j.set("dedup", Json(dedup));
+    j.set("kind", Json(kind));
+    j.set("cell", Json(cell_key));
+    j.set("file", Json(first ? file : rec.file));
+    j.set("insns", Json(static_cast<std::uint64_t>(insns)));
+    j.set("orig_insns", Json(static_cast<std::uint64_t>(orig_insns)));
+    j.set("dup", Json(!first));
+    appendLine(j);
+    return first;
+}
+
+std::map<std::string, JournalFailure>
+Journal::failures() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
+}
+
+} // namespace wo

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The crash-safe campaign journal: one JSON object per line, appended
+ * and flushed as each cell finishes, so a killed campaign loses at
+ * most the in-flight cells.  On `--resume` the journal is replayed:
+ * finished cell keys are skipped without re-running, and previously
+ * recorded failures keep their deduplication identity (verdict kind +
+ * shrunk-program hash), so an interrupted hunt neither repeats work
+ * nor double-reports the same bug.
+ *
+ * Line types (see docs/CAMPAIGN.md for the full schema):
+ *
+ *   {"type":"campaign", ...config echo...}
+ *   {"type":"cell","key":K,"verdict":V,"hw":N,"races":N,"sig":S,...}
+ *   {"type":"failure","dedup":D,"kind":K,"file":F,"insns":N,...}
+ *
+ * A truncated or malformed trailing line (the crash case) is ignored
+ * by the reader.  All appends go through one mutex and fflush, so the
+ * journal is safe to share across the worker fleet.
+ */
+
+#ifndef WO_CAMPAIGN_JOURNAL_HH
+#define WO_CAMPAIGN_JOURNAL_HH
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "campaign/cell.hh"
+#include "obs/json.hh"
+
+namespace wo {
+
+/** One replayed failure record (resume-time state). */
+struct JournalFailure
+{
+    std::string kind;       //!< violation kind name
+    std::string file;       //!< reproducer path (may be empty)
+    std::size_t insns = 0;  //!< shrunk instruction count
+    std::uint64_t count = 0; //!< equivalent failures seen so far
+};
+
+/** The campaign journal (writer + resume reader). */
+class Journal
+{
+  public:
+    explicit Journal(std::string path) : path_(std::move(path)) {}
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /**
+     * Replay an existing journal into the done/failure sets.  Missing
+     * file is fine (fresh campaign); malformed lines are skipped.
+     * Call before open().
+     */
+    void load();
+
+    /**
+     * Open for appending.  @p fresh truncates (non-resume campaigns
+     * start clean).  False when the file cannot be opened.
+     */
+    bool open(bool fresh);
+
+    /** Append the campaign-config header line. */
+    void writeHeader(Json meta);
+
+    /** Was @p key journaled (this run or a resumed one)? */
+    bool done(const std::string &key) const;
+
+    /** Number of journaled cells (including replayed ones). */
+    std::size_t doneCells() const;
+
+    /** Append one finished cell (marks its key done). */
+    void appendCell(const CellResult &r);
+
+    /**
+     * Record a failure under deduplication key @p dedup ("<kind>:<hash
+     * of the shrunk program>").  Returns true when this is the first
+     * equivalent failure (caller should emit the reproducer bundle);
+     * repeats only bump the count.  Always journaled either way.
+     */
+    bool recordFailure(const std::string &dedup, const std::string &kind,
+                       const std::string &cell_key,
+                       const std::string &file, std::size_t insns,
+                       std::size_t orig_insns);
+
+    /** Deduplicated failures, keyed by dedup string. */
+    std::map<std::string, JournalFailure> failures() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    void appendLine(const Json &j);
+
+    std::string path_;
+    std::FILE *f_ = nullptr;
+    mutable std::mutex mu_;
+    std::set<std::string> done_;
+    std::map<std::string, JournalFailure> failures_;
+};
+
+} // namespace wo
+
+#endif // WO_CAMPAIGN_JOURNAL_HH

@@ -1,0 +1,462 @@
+#include "scheduler.hh"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "campaign/journal.hh"
+#include "campaign/shrink.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "obs/artifact.hh"
+
+namespace wo {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool
+violationKindFromName(const std::string &name, ViolationKind &out)
+{
+    for (int k = 0; k < num_violation_kinds; ++k)
+        if (name == violationKindName(static_cast<ViolationKind>(k))) {
+            out = static_cast<ViolationKind>(k);
+            return true;
+        }
+    return false;
+}
+
+/**
+ * Per-worker deques with stealing.  A worker pushes and pops its own
+ * back (LIFO keeps a bug's freshly-mutated neighborhood hot in cache
+ * and in mind); thieves take from the front, i.e. the oldest, most
+ * "different" work, the classic Cilk/Chase-Lev discipline.  Mutexed
+ * rather than lock-free: a cell costs a full simulated run, so deque
+ * contention is noise.
+ */
+class StealDeques
+{
+  public:
+    explicit StealDeques(int n)
+    {
+        for (int i = 0; i < n; ++i)
+            slots_.push_back(std::make_unique<Slot>());
+    }
+
+    void
+    push(int w, Cell c)
+    {
+        std::lock_guard<std::mutex> lock(slots_[w]->mu);
+        slots_[w]->q.push_back(std::move(c));
+    }
+
+    bool
+    popLocal(int w, Cell &out)
+    {
+        std::lock_guard<std::mutex> lock(slots_[w]->mu);
+        if (slots_[w]->q.empty())
+            return false;
+        out = std::move(slots_[w]->q.back());
+        slots_[w]->q.pop_back();
+        return true;
+    }
+
+    /** One full round over the victims, starting at a random one. */
+    bool
+    steal(int thief, Cell &out, Rng &rng)
+    {
+        const int n = static_cast<int>(slots_.size());
+        if (n <= 1)
+            return false;
+        int victim = static_cast<int>(rng.below(n));
+        for (int i = 0; i < n; ++i, victim = (victim + 1) % n) {
+            if (victim == thief)
+                continue;
+            std::lock_guard<std::mutex> lock(slots_[victim]->mu);
+            if (slots_[victim]->q.empty())
+                continue;
+            out = std::move(slots_[victim]->q.front());
+            slots_[victim]->q.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+  private:
+    struct Slot
+    {
+        std::mutex mu;
+        std::deque<Cell> q;
+    };
+    std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+/** Shared campaign state (one per runCampaign call; no globals). */
+struct Engine
+{
+    explicit Engine(const CampaignCfg &c)
+        : cfg(c),
+          fuzzer(FuzzerCfg{c.seed, c.policies, c.program_files,
+                           c.inject_reserve_bug}),
+          journal(c.journal_path), deques(c.jobs)
+    {
+    }
+
+    const CampaignCfg &cfg;
+    Fuzzer fuzzer;
+    Journal journal;
+    StealDeques deques;
+    Clock::time_point t0;
+
+    std::atomic<std::uint64_t> tickets{0};
+    std::atomic<std::uint64_t> base_index{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> ran{0};
+    std::atomic<std::uint64_t> skipped{0};
+    std::atomic<std::uint64_t> clean{0};
+    std::atomic<std::uint64_t> racy{0};
+    std::atomic<std::uint64_t> hw{0};
+    std::atomic<std::uint64_t> deadlocked{0};
+    std::atomic<std::uint64_t> livelocked{0};
+    std::atomic<std::uint64_t> errors{0};
+    std::atomic<std::uint64_t> by_kind[num_violation_kinds];
+    std::atomic<bool> done{false};
+
+    std::mutex fail_mu;
+    std::map<std::string, FailureRecord> failures; //!< this run's finds
+
+    bool
+    timeUp() const
+    {
+        if (cfg.time_budget_s <= 0)
+            return false;
+        return std::chrono::duration<double>(Clock::now() - t0).count() >
+               cfg.time_budget_s;
+    }
+
+    void
+    classify(const CellResult &r)
+    {
+        for (int k = 0; k < num_violation_kinds; ++k)
+            by_kind[k] += r.by_kind[k];
+        if (r.primary_kind == "materialize_error")
+            ++errors;
+        else if (r.hardwareFailure())
+            ++hw;
+        else if (r.deadlocked)
+            ++deadlocked;
+        else if (r.livelocked)
+            ++livelocked;
+        else if (r.races > 0)
+            ++racy;
+        else
+            ++clean;
+    }
+
+    void handleFailure(const Cell &cell, CellRun &run);
+    void worker(int w);
+};
+
+void
+Engine::handleFailure(const Cell &cell, CellRun &run)
+{
+    ViolationKind kind;
+    if (!violationKindFromName(run.result.primary_kind, kind))
+        return; // cannot name it: leave the cell verdict as evidence
+
+    ShrinkCfg scfg;
+    // With shrinking off the single permitted run just confirms the
+    // reproduction and renders the unreduced .wo text.
+    scfg.max_runs = cfg.shrink ? cfg.shrink_max_runs : 1;
+    ShrinkOutcome s =
+        shrinkCounterexample(*run.program, run.warm,
+                             cell.systemCfg(cfg.max_events), kind, scfg);
+
+    const std::string hash = fnv1aHex(s.wo_text).substr(0, 12);
+    const std::string dedup = run.result.primary_kind + ":" + hash;
+    const std::string stem =
+        cfg.out_dir + "/repro-" + run.result.primary_kind + "-" + hash;
+    const std::string wo_path = stem + ".wo";
+
+    const bool first =
+        journal.recordFailure(dedup, run.result.primary_kind,
+                              run.result.key, wo_path, s.instructions,
+                              s.orig_instructions);
+    if (first) {
+        writeFile(wo_path, s.wo_text);
+        // The evidence bundle: re-run the minimum with the flight
+        // recorder on and the failure dump pointed into the out dir.
+        SystemCfg ev = cell.systemCfg(cfg.max_events);
+        ev.flight_recorder = true;
+        ev.dump_on_fail = stem;
+        System sys(*s.program, ev);
+        for (const auto &w : s.warm)
+            sys.warmShared(w.addr, w.procs);
+        sys.run();
+    }
+
+    std::lock_guard<std::mutex> lock(fail_mu);
+    FailureRecord &rec = failures[dedup];
+    ++rec.count;
+    if (rec.dedup.empty()) {
+        rec.dedup = dedup;
+        rec.kind = run.result.primary_kind;
+        rec.first_cell = run.result.key;
+        rec.repro_path = wo_path;
+        rec.instructions = s.instructions;
+        rec.orig_instructions = s.orig_instructions;
+        rec.reproduced = s.reproduced;
+    }
+}
+
+void
+Engine::worker(int w)
+{
+    Rng rng(cfg.seed * 7919 + static_cast<std::uint64_t>(w) + 1);
+    while (!timeUp()) {
+        const std::uint64_t ticket = tickets.fetch_add(1);
+        if (ticket >= cfg.cells)
+            break;
+        // Even tickets always advance the deterministic base stream;
+        // only odd ones may take fuzz-frontier work.  A hot mutant
+        // neighborhood (every timing mutant of a racy cell tends to
+        // show a fresh outcome signature) can therefore never starve
+        // base coverage -- at least half the budget walks the stream.
+        Cell cell;
+        const bool frontier =
+            (ticket & 1) &&
+            (deques.popLocal(w, cell) || deques.steal(w, cell, rng));
+        if (!frontier)
+            cell = fuzzer.baseCell(base_index.fetch_add(1));
+
+        if (journal.done(cell.key())) {
+            ++skipped;
+            ++completed;
+            continue;
+        }
+        CellRun run = runCell(cell, cfg.max_events);
+        journal.appendCell(run.result);
+        classify(run.result);
+        for (Cell &m : fuzzer.observe(cell, run.result))
+            deques.push(w, std::move(m));
+        if (run.result.hardwareFailure() && run.program)
+            handleFailure(cell, run);
+        ++ran;
+        ++completed;
+    }
+}
+
+} // namespace
+
+CampaignSummary
+runCampaign(const CampaignCfg &user_cfg)
+{
+    CampaignCfg cfg = user_cfg;
+    if (cfg.jobs < 1)
+        cfg.jobs = 1;
+    if (cfg.policies.empty())
+        cfg.policies = {OrderingPolicy::wo_drf0};
+    if (cfg.journal_path.empty())
+        cfg.journal_path = cfg.out_dir + "/campaign.journal.jsonl";
+    std::error_code ec;
+    std::filesystem::create_directories(cfg.out_dir, ec);
+    if (ec)
+        warn("cannot create campaign out dir '%s': %s",
+             cfg.out_dir.c_str(), ec.message().c_str());
+
+    Engine eng(cfg);
+    for (auto &k : eng.by_kind)
+        k = 0;
+    if (cfg.resume)
+        eng.journal.load();
+    eng.journal.open(/*fresh=*/!cfg.resume);
+    if (!cfg.resume) {
+        Json meta = Json::object();
+        meta.set("seed", Json(cfg.seed));
+        meta.set("cells", Json(cfg.cells));
+        meta.set("jobs", Json(static_cast<std::uint64_t>(cfg.jobs)));
+        std::string pols;
+        for (OrderingPolicy p : cfg.policies)
+            pols += std::string(pols.empty() ? "" : ",") +
+                    policyFlagName(p);
+        meta.set("policies", Json(pols));
+        meta.set("max_events", Json(cfg.max_events));
+        if (cfg.inject_reserve_bug)
+            meta.set("inject_reserve_bug", Json(true));
+        eng.journal.writeHeader(std::move(meta));
+    }
+
+    eng.t0 = Clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(cfg.jobs));
+    for (int w = 0; w < cfg.jobs; ++w)
+        workers.emplace_back([&eng, w] { eng.worker(w); });
+
+    std::thread reporter;
+    if (cfg.progress)
+        reporter = std::thread([&eng] {
+            while (!eng.done.load()) {
+                const double secs = std::chrono::duration<double>(
+                                        Clock::now() - eng.t0)
+                                        .count();
+                const std::uint64_t c = eng.completed.load();
+                std::size_t uniq;
+                {
+                    std::lock_guard<std::mutex> lock(eng.fail_mu);
+                    uniq = eng.failures.size();
+                }
+                std::fprintf(
+                    stderr,
+                    "\r[campaign] %llu/%llu cells  %llu run  %llu "
+                    "resumed  %llu hw-fail (%zu unique)  %.1f cells/s ",
+                    static_cast<unsigned long long>(c),
+                    static_cast<unsigned long long>(eng.cfg.cells),
+                    static_cast<unsigned long long>(eng.ran.load()),
+                    static_cast<unsigned long long>(eng.skipped.load()),
+                    static_cast<unsigned long long>(eng.hw.load()), uniq,
+                    secs > 0 ? static_cast<double>(c) / secs : 0.0);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(200));
+            }
+            std::fputc('\n', stderr);
+        });
+
+    for (auto &t : workers)
+        t.join();
+    eng.done = true;
+    if (reporter.joinable())
+        reporter.join();
+
+    CampaignSummary sum;
+    sum.ran = eng.ran;
+    sum.skipped = eng.skipped;
+    sum.clean = eng.clean;
+    sum.racy = eng.racy;
+    sum.hw = eng.hw;
+    sum.deadlocked = eng.deadlocked;
+    sum.livelocked = eng.livelocked;
+    sum.errors = eng.errors;
+    for (int k = 0; k < num_violation_kinds; ++k)
+        sum.by_kind[k] = eng.by_kind[k];
+    sum.novelty = eng.fuzzer.noveltyCount();
+    sum.wall_s =
+        std::chrono::duration<double>(Clock::now() - eng.t0).count();
+    sum.cells_per_sec =
+        sum.wall_s > 0 ? static_cast<double>(sum.ran) / sum.wall_s : 0;
+
+    // Failures: the journal knows every deduplicated failure including
+    // those recorded before a resume; this run's records add the
+    // shrink provenance.
+    for (const auto &[dedup, jf] : eng.journal.failures()) {
+        FailureRecord rec;
+        rec.dedup = dedup;
+        rec.kind = jf.kind;
+        rec.repro_path = jf.file;
+        rec.instructions = jf.insns;
+        rec.count = jf.count;
+        auto it = eng.failures.find(dedup);
+        if (it != eng.failures.end()) {
+            rec.first_cell = it->second.first_cell;
+            rec.orig_instructions = it->second.orig_instructions;
+            rec.reproduced = it->second.reproduced;
+        }
+        sum.failures.push_back(std::move(rec));
+    }
+    return sum;
+}
+
+std::string
+CampaignSummary::table() const
+{
+    std::string out;
+    out += strprintf(
+        "campaign: %llu cells (%llu run, %llu resumed), %.2f s, "
+        "%.1f cells/s, %llu frontier discoveries\n",
+        static_cast<unsigned long long>(ran + skipped),
+        static_cast<unsigned long long>(ran),
+        static_cast<unsigned long long>(skipped), wall_s,
+        cells_per_sec, static_cast<unsigned long long>(novelty));
+    out += strprintf(
+        "verdicts: %llu clean, %llu race, %llu hw-violation, "
+        "%llu deadlock, %llu livelock, %llu error\n",
+        static_cast<unsigned long long>(clean),
+        static_cast<unsigned long long>(racy),
+        static_cast<unsigned long long>(hw),
+        static_cast<unsigned long long>(deadlocked),
+        static_cast<unsigned long long>(livelocked),
+        static_cast<unsigned long long>(errors));
+    bool any_kind = false;
+    for (int k = 0; k < num_violation_kinds; ++k)
+        any_kind = any_kind || by_kind[k] > 0;
+    if (any_kind) {
+        out += "monitor findings:";
+        for (int k = 0; k < num_violation_kinds; ++k)
+            if (by_kind[k] > 0)
+                out += strprintf(
+                    " %s=%llu",
+                    violationKindName(static_cast<ViolationKind>(k)),
+                    static_cast<unsigned long long>(by_kind[k]));
+        out += "\n";
+    }
+    if (failures.empty()) {
+        out += "hardware: CLEAN (no violation survived shrinking)\n";
+        return out;
+    }
+    out += strprintf("failures (%zu unique after dedup):\n",
+                     failures.size());
+    for (const FailureRecord &f : failures)
+        out += strprintf(
+            "  %-16s x%-4llu -> %s (%zu insns%s%s)\n", f.kind.c_str(),
+            static_cast<unsigned long long>(f.count),
+            f.repro_path.c_str(), f.instructions,
+            f.orig_instructions > 0
+                ? strprintf(", from %zu", f.orig_instructions).c_str()
+                : "",
+            f.reproduced ? ", reproduced" : "");
+    return out;
+}
+
+Json
+CampaignSummary::toJson() const
+{
+    Json j = Json::object();
+    j.set("ran", Json(ran));
+    j.set("skipped", Json(skipped));
+    j.set("clean", Json(clean));
+    j.set("race", Json(racy));
+    j.set("hw", Json(hw));
+    j.set("deadlock", Json(deadlocked));
+    j.set("livelock", Json(livelocked));
+    j.set("error", Json(errors));
+    j.set("novelty", Json(novelty));
+    j.set("wall_s", Json(wall_s));
+    j.set("cells_per_sec", Json(cells_per_sec));
+    Json by = Json::object();
+    for (int k = 0; k < num_violation_kinds; ++k)
+        if (by_kind[k] > 0)
+            by.set(violationKindName(static_cast<ViolationKind>(k)),
+                   Json(by_kind[k]));
+    j.set("by_kind", std::move(by));
+    Json fails = Json::array();
+    for (const FailureRecord &f : failures) {
+        Json rec = Json::object();
+        rec.set("dedup", Json(f.dedup));
+        rec.set("kind", Json(f.kind));
+        rec.set("file", Json(f.repro_path));
+        rec.set("insns", Json(static_cast<std::uint64_t>(f.instructions)));
+        rec.set("orig_insns",
+                Json(static_cast<std::uint64_t>(f.orig_instructions)));
+        rec.set("count", Json(f.count));
+        rec.set("reproduced", Json(f.reproduced));
+        fails.push(std::move(rec));
+    }
+    j.set("failures", std::move(fails));
+    return j;
+}
+
+} // namespace wo

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The campaign engine: a work-stealing worker fleet that turns the
+ * generators, the timed simulator and the online monitor into bulk
+ * verification of the paper's Definition-2 contract.
+ *
+ * Each of N workers owns a deque of cells.  Fresh mutants from the
+ * fuzz frontier are pushed locally (LIFO, so a bug's neighborhood is
+ * explored while it is hot); a worker drains its own deque first, then
+ * steals from a random victim's opposite end (FIFO).  Half the global
+ * budget is reserved for the deterministic base stream -- even tickets
+ * always draw the next base cell -- so a self-sustaining mutant
+ * frontier can never starve corpus coverage.  A global ticket counter
+ * bounds the campaign at `cells` cells (or the time budget), counting
+ * resumed skips, so kill + `--resume` converges instead of re-running
+ * history.
+ *
+ * Every hardware-blaming verdict is shrunk to a minimal reproducer
+ * (see shrink.hh) and deduplicated by verdict kind + shrunk-program
+ * hash; the first equivalent failure writes a `.wo` reproducer plus an
+ * evidence bundle under the output directory, later ones only count.
+ */
+
+#ifndef WO_CAMPAIGN_SCHEDULER_HH
+#define WO_CAMPAIGN_SCHEDULER_HH
+
+#include <string>
+#include <vector>
+
+#include "campaign/cell.hh"
+#include "campaign/fuzzer.hh"
+#include "obs/json.hh"
+
+namespace wo {
+
+/** Campaign configuration (the `wotool campaign` surface). */
+struct CampaignCfg
+{
+    int jobs = 1;                 //!< worker threads
+    std::uint64_t cells = 200;    //!< cell budget (includes skips)
+    double time_budget_s = 0;     //!< wall-clock cap; 0 = none
+    std::string out_dir = "campaign-out";
+    std::string journal_path;     //!< default: <out_dir>/campaign.journal.jsonl
+    std::vector<std::string> program_files; //!< extra .wo corpus
+    std::vector<OrderingPolicy> policies = {
+        OrderingPolicy::sc, OrderingPolicy::wo_def1,
+        OrderingPolicy::wo_drf0};
+    bool shrink = true;           //!< minimize hardware failures
+    bool resume = false;          //!< replay the journal, skip done cells
+    std::uint64_t seed = 1;       //!< base-stream / mutation seed
+    std::uint64_t max_events = 300'000; //!< per-cell livelock budget
+    std::uint64_t shrink_max_runs = 500;
+    bool inject_reserve_bug = false; //!< seeded-fault campaign
+    bool progress = false;        //!< live progress line on stderr
+};
+
+/** One deduplicated hardware failure, as the campaign reports it. */
+struct FailureRecord
+{
+    std::string dedup;        //!< "<kind>:<shrunk-program hash>"
+    std::string kind;         //!< violation kind name
+    std::string first_cell;   //!< key of the first cell that hit it
+    std::string repro_path;   //!< minimized .wo reproducer
+    std::size_t instructions = 0;      //!< after shrinking
+    std::size_t orig_instructions = 0; //!< before shrinking
+    std::uint64_t count = 0;  //!< equivalent failures (dedup hits)
+    bool reproduced = false;  //!< shrink predicate held on the minimum
+};
+
+/** What a campaign did. */
+struct CampaignSummary
+{
+    std::uint64_t ran = 0;     //!< cells actually simulated
+    std::uint64_t skipped = 0; //!< journaled cells skipped on resume
+    std::uint64_t clean = 0;
+    std::uint64_t racy = 0;    //!< software races (contract void)
+    std::uint64_t hw = 0;      //!< cells with hardware violations
+    std::uint64_t deadlocked = 0;
+    std::uint64_t livelocked = 0;
+    std::uint64_t errors = 0;  //!< cells whose program failed to build
+    std::uint64_t by_kind[num_violation_kinds] = {};
+    std::uint64_t novelty = 0; //!< fuzz-frontier discoveries
+    std::vector<FailureRecord> failures; //!< deduplicated
+    double wall_s = 0;
+    double cells_per_sec = 0;
+
+    /** Exit-0 condition: no hardware violation survived shrinking. */
+    bool hardwareClean() const { return failures.empty(); }
+
+    /** The final human-readable summary table. */
+    std::string table() const;
+
+    /** Machine-readable form (journal footer / tooling). */
+    Json toJson() const;
+};
+
+/** Run a campaign to completion (or its budget). */
+CampaignSummary runCampaign(const CampaignCfg &cfg);
+
+} // namespace wo
+
+#endif // WO_CAMPAIGN_SCHEDULER_HH

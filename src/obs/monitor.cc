@@ -108,6 +108,10 @@ void Monitor::opRetired(ProcId p, Addr addr, AccessKind kind,
         v.op_b = id;
         v.detail = a.toString() + " races with " + op.toString();
         l.raced = true;
+        // The contract is void here: any stale-read suspicion held
+        // against this location was (or may have been) the race's own
+        // in-flight value, not the hardware's fault.
+        l.pending_stale.clear();
         raise(std::move(v));
     };
     for (ProcId q = 0; q < nprocs_; ++q) {
@@ -148,7 +152,21 @@ void Monitor::opRetired(ProcId p, Addr addr, AccessKind kind,
                 op.toString().c_str(), static_cast<long long>(value_read),
                 best ? exec_.op(best->id).toString().c_str() : "(initial)",
                 static_cast<long long>(expected));
-            raise(std::move(v));
+            // A value no retired write ever produced may belong to an
+            // *in-flight* write racing with this read (the write's
+            // retire hook simply has not fired yet) -- blaming the
+            // hardware now would be unsound.  Defer: a later race on
+            // the location drops the suspicion, finalize() of a
+            // completed race-free run confirms it.  A value the
+            // location's history does know is the classic stale read
+            // and is raised at the violating cycle.
+            const bool known_value =
+                value_read == exec_.initialValue(addr) ||
+                l.written_values.count(value_read) > 0;
+            if (known_value)
+                raise(std::move(v));
+            else
+                l.pending_stale.push_back(std::move(v));
         }
     }
 
@@ -175,6 +193,7 @@ void Monitor::opRetired(ProcId p, Addr addr, AccessKind kind,
     if (op.isRead())
         l.lastr[p] = {vc[p], id};
     if (op.isWrite()) {
+        l.written_values.insert(value_written);
         l.lastw[p] = {vc[p], id};
         std::erase_if(l.frontier, [&](const WriteRec &w) {
             return w.clock.leq(vc); // dominated by the new write
@@ -241,7 +260,18 @@ void Monitor::finalize(Tick now, bool completed,
         return;
     finalized_ = true;
     if (!completed)
-        return; // deadlock/livelock is reported by the system itself
+        return; // deadlock/livelock is reported by the system itself;
+                // pending stale reads die with it (the write that
+                // produced the unknown value may be stuck in flight)
+    // A completed run has retired every write, so a still-unexplained
+    // read value on a race-free location really came from nowhere (or
+    // from an hb-ordered future write): confirm the deferred verdicts.
+    for (LocState &l : locs_) {
+        if (!l.raced)
+            for (MonitorViolation &v : l.pending_stale)
+                raise(std::move(v));
+        l.pending_stale.clear();
+    }
     for (ProcId p = 0; p < nprocs_; ++p) {
         if (counter_[p] != 0) {
             MonitorViolation v;
@@ -310,6 +340,19 @@ std::string Monitor::witnessDot() const
                                static_cast<unsigned long long>(
                                    violations_.front().tick));
     return executionToDot(exec_, dc);
+}
+
+MonitorSummary
+Monitor::summary() const
+{
+    MonitorSummary s;
+    s.total = total_;
+    s.hardware = hardware_;
+    s.races = races_;
+    for (int k = 0; k < num_violation_kinds; ++k)
+        s.by_kind[k] = by_kind_[k];
+    s.first_tick = first_tick_;
+    return s;
 }
 
 Json Monitor::toJson() const

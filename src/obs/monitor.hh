@@ -40,6 +40,7 @@
 #define WO_OBS_MONITOR_HH
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -105,6 +106,25 @@ struct MonitorCfg
      * through the same breach every retry cycle.
      */
     std::size_t max_recorded = 64;
+};
+
+/**
+ * Compact value-type snapshot of a monitor's verdict.  The campaign
+ * engine runs many Systems concurrently and must capture each cell's
+ * verdict without touching shared or global state; everything a worker
+ * needs to classify a run is copied out here before the System (and
+ * its monitor) is destroyed.
+ */
+struct MonitorSummary
+{
+    std::uint64_t total = 0;    //!< all findings ever raised
+    std::uint64_t hardware = 0; //!< hardware-blaming findings
+    std::uint64_t races = 0;    //!< software races
+    std::uint64_t by_kind[num_violation_kinds] = {};
+    Tick first_tick = max_tick; //!< first violation (max_tick when none)
+
+    /** No hardware violations. */
+    bool clean() const { return hardware == 0; }
 };
 
 /** The online invariant monitor.  Fed by Obs; one per System. */
@@ -188,6 +208,9 @@ class Monitor
     /** Machine-readable summary for the metrics tree. */
     Json toJson() const;
 
+    /** Copy-out verdict snapshot (outlives the monitor; see above). */
+    MonitorSummary summary() const;
+
   private:
     /** Last write/read of one processor on one location. */
     struct LastOp
@@ -210,9 +233,23 @@ class Monitor
     {
         std::vector<LastOp> lastw, lastr; //!< per processor
         std::vector<WriteRec> frontier;   //!< non-dominated writes
+        std::set<Value> written_values;   //!< every value retired here
         Tick last_write_commit = 0;
         bool raced = false; //!< a race touched this location: the DRF0
                             //!< contract is void here, hardware checks off
+
+        /**
+         * Suspected stale reads whose returned value matches no write
+         * retired so far.  Such a value can come from an *in-flight*
+         * write that has not reached the monitor yet; if that write
+         * races with the read, the contract is void and blaming the
+         * hardware would be wrong.  Judgment is deferred: a later race
+         * on the location drops the suspicion, finalize() of a
+         * completed race-free run raises it (every write has retired
+         * by then, so the value really came from nowhere or from an
+         * hb-ordered *future* write -- hardware either way).
+         */
+        std::vector<MonitorViolation> pending_stale;
     };
 
     LocState &loc(Addr a);

@@ -1,5 +1,7 @@
 #include "workload.hh"
 
+#include <algorithm>
+
 #include "common/random.hh"
 #include "program/builder.hh"
 
@@ -83,6 +85,75 @@ randomRacyProgram(const RacyWorkloadCfg &cfg)
         t.halt();
     }
     return b.build();
+}
+
+namespace {
+
+/** Nudge @p v by +/-1 within [lo, hi]. */
+template <typename T>
+T
+nudge(T v, T lo, T hi, Rng &rng)
+{
+    long long next =
+        static_cast<long long>(v) + (rng.chance(1, 2) ? 1 : -1);
+    next = std::max(next, static_cast<long long>(lo));
+    next = std::min(next, static_cast<long long>(hi));
+    return static_cast<T>(next);
+}
+
+} // namespace
+
+Drf0WorkloadCfg
+mutateDrf0Cfg(const Drf0WorkloadCfg &base, Rng &rng)
+{
+    Drf0WorkloadCfg cfg = base;
+    switch (rng.below(8)) {
+      case 0:
+        cfg.procs = nudge<ProcId>(cfg.procs, 2, 4, rng);
+        break;
+      case 1:
+        cfg.regions = nudge<Addr>(cfg.regions, 1, 3, rng);
+        break;
+      case 2:
+        cfg.locs_per_region = nudge<Addr>(cfg.locs_per_region, 1, 3, rng);
+        break;
+      case 3:
+        cfg.private_locs = nudge<Addr>(cfg.private_locs, 0, 2, rng);
+        break;
+      case 4:
+        cfg.sections = nudge(cfg.sections, 1, 3, rng);
+        break;
+      case 5:
+        cfg.ops_per_section = nudge(cfg.ops_per_section, 1, 4, rng);
+        break;
+      case 6:
+        cfg.test_and_tas = !cfg.test_and_tas;
+        break;
+      default:
+        cfg.work_cycles = nudge<Value>(cfg.work_cycles, 0, 3, rng);
+        break;
+    }
+    cfg.seed = rng.next();
+    return cfg;
+}
+
+RacyWorkloadCfg
+mutateRacyCfg(const RacyWorkloadCfg &base, Rng &rng)
+{
+    RacyWorkloadCfg cfg = base;
+    switch (rng.below(3)) {
+      case 0:
+        cfg.procs = nudge<ProcId>(cfg.procs, 2, 4, rng);
+        break;
+      case 1:
+        cfg.locs = nudge<Addr>(cfg.locs, 1, 3, rng);
+        break;
+      default:
+        cfg.ops_per_thread = nudge(cfg.ops_per_thread, 1, 6, rng);
+        break;
+    }
+    cfg.seed = rng.next();
+    return cfg;
 }
 
 Program

@@ -24,6 +24,8 @@
 
 namespace wo {
 
+class Rng;
+
 /** Shape parameters for randomDrf0Program. */
 struct Drf0WorkloadCfg
 {
@@ -61,6 +63,19 @@ struct RacyWorkloadCfg
  * that the relaxed machines really produce non-SC results for such code.
  */
 Program randomRacyProgram(const RacyWorkloadCfg &cfg);
+
+/**
+ * Fuzzing hook: derive a neighboring DRF0 workload shape from @p base
+ * by nudging one randomly chosen field within small campaign-friendly
+ * bounds (procs 2-4, regions 1-3, sections 1-3, ...) and drawing a
+ * fresh generator seed.  The result always describes a valid,
+ * DRF0-by-construction program; equal Rng streams derive equal
+ * neighbors, so campaign cells stay reproducible from their keys.
+ */
+Drf0WorkloadCfg mutateDrf0Cfg(const Drf0WorkloadCfg &base, Rng &rng);
+
+/** Fuzzing hook: neighboring racy workload shape (see mutateDrf0Cfg). */
+RacyWorkloadCfg mutateRacyCfg(const RacyWorkloadCfg &base, Rng &rng);
 
 /**
  * Generate a straight-line program mixing data accesses with @p sync_ratio

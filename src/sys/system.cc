@@ -143,7 +143,9 @@ System::dumpEvidence(const char *why)
         return;
     evidence_dumped_ = true;
     const std::string &prefix = cfg_.dump_on_fail;
-    inform("dumping failure evidence (%s) to %s.*", why, prefix.c_str());
+    if (!cfg_.quiet)
+        inform("dumping failure evidence (%s) to %s.*", why,
+               prefix.c_str());
     const std::string trace =
         recorder_ ? recorder_->chromeTraceJson(
                         static_cast<ProcId>(cpus_.size()))
@@ -178,6 +180,8 @@ System::run()
     while (!eq_.empty()) {
         if (++events > cfg_.max_events) {
             r.livelocked = true;
+            if (cfg_.quiet)
+                break;
             // Satellite diagnostics: where each processor is stuck and
             // what it has mostly been waiting on.
             std::string snap;

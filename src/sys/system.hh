@@ -48,6 +48,13 @@ struct SystemCfg
     /** Period of the time-series sampler, in ticks; 0 = off. */
     Tick sample_interval = 0;
     /**
+     * Suppress the livelock warning and evidence-dump status lines.
+     * Campaign workers run thousands of cells concurrently, where a
+     * deliberately-stuck machine is a *verdict*, not an anomaly worth
+     * a console line per occurrence.
+     */
+    bool quiet = false;
+    /**
      * Largest monitored execution still rendered as a DOT hb witness
      * by the failure dump; beyond it the .hb.dot notes the omission.
      */

@@ -119,6 +119,59 @@ TEST(Monitor, StaleReadInRaceFreeHistoryBlamesHardware)
     EXPECT_NE(m.report().find("HARDWARE VIOLATION"), std::string::npos);
 }
 
+TEST(Monitor, InFlightRacyWriteValueIsNotBlamedOnHardware)
+{
+    // P1's read returns 6 -- the value of P0's racing write, which has
+    // not *retired* into the monitor yet.  At the read the frontier is
+    // empty and no retired write explains 6, so blaming the hardware
+    // would be unsound; the verdict must wait.  When the write retires
+    // it races with the read, voiding the contract on x: the only
+    // finding is the software race.
+    Monitor m(2, 1, {});
+    m.opRetired(1, 0, AccessKind::data_read, /*value_read=*/6, 0, 5, 10);
+    EXPECT_EQ(m.totalViolations(), 0u); // suspicion held, not raised
+    m.opRetired(0, 0, AccessKind::data_write, 0, /*value_written=*/6, 6, 12);
+    m.finalize(20, /*completed=*/true, 0);
+    EXPECT_EQ(m.countOf(ViolationKind::stale_read), 0u);
+    EXPECT_EQ(m.races(), 1u);
+    EXPECT_EQ(m.hardwareViolations(), 0u);
+    EXPECT_TRUE(m.clean());
+}
+
+TEST(Monitor, NeverWrittenValueIsConfirmedStaleAtFinalize)
+{
+    // Race-free handoff, but the read returns 7 -- a value no write to
+    // x ever produced and not the initial value.  Mid-run this could
+    // still be an in-flight racy write, so nothing is raised; once the
+    // run completes every write has retired, the value really came
+    // from nowhere, and the deferred verdict lands with the read's
+    // original tick.
+    Monitor m(2, 2, {});
+    m.opRetired(0, 0, AccessKind::data_write, 0, 1, 1, 10);
+    m.opRetired(0, 1, AccessKind::sync_write, 0, 1, 2, 11);
+    m.opRetired(1, 1, AccessKind::sync_read, 1, 0, 3, 12);
+    m.opRetired(1, 0, AccessKind::data_read, /*value_read=*/7, 0, 4, 13);
+    EXPECT_EQ(m.totalViolations(), 0u); // deferred
+    m.finalize(20, /*completed=*/true, 0);
+    ASSERT_EQ(m.totalViolations(), 1u);
+    const MonitorViolation &v = m.violations()[0];
+    EXPECT_EQ(v.kind, ViolationKind::stale_read);
+    EXPECT_EQ(v.tick, 13u); // the violating cycle, not finalize's
+    EXPECT_EQ(v.got, 7);
+    EXPECT_EQ(m.hardwareViolations(), 1u);
+}
+
+TEST(Monitor, PendingStaleDiesWithAFailedRun)
+{
+    // A deadlocked/livelocked run may hold the explaining write in
+    // flight forever; the suspicion cannot be confirmed and is dropped.
+    Monitor m(2, 1, {});
+    m.opRetired(1, 0, AccessKind::data_read, /*value_read=*/6, 0, 5, 10);
+    m.finalize(20, /*completed=*/false, 0);
+    EXPECT_EQ(m.totalViolations(), 0u);
+    EXPECT_TRUE(m.clean());
+}
+
 TEST(Monitor, WritesRetiringAgainstCommitOrderViolateCoherence)
 {
     Monitor m(1, 1, {});

@@ -39,17 +39,35 @@
  *     wotool stats   <file> [--policy sc|def1|drf0|drf0ro]
  *         Run and print the metrics JSON to stdout.
  *
+ *     wotool campaign [--jobs N] [--cells N] [--time-budget SECS]
+ *                     [--out-dir DIR] [--resume] [--policy LIST]
+ *                     [--programs F1,F2,...] [--seed N] [--no-shrink]
+ *                     [--max-events N] [--inject-reserve-bug]
+ *         Bulk Definition-2 verification: fan a fuzzed stream of
+ *         (program x policy x seed) cells over a work-stealing worker
+ *         fleet, shrink every hardware violation to a minimal .wo
+ *         reproducer, and journal everything so a killed campaign
+ *         resumes where it stopped.  Exits nonzero iff a hardware
+ *         violation survived shrinking.  See docs/CAMPAIGN.md.
+ *
  *     wotool disasm  <file>
  *         Parse and print back (normalizes labels/locations).
+ *
+ * The subcommand table below is the single source of truth for both
+ * the usage text and the dispatcher, so the two cannot drift apart.
  *
  * See src/asm/assembler.hh for the input grammar.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unistd.h>
+#include <vector>
 
 #include "asm/assembler.hh"
+#include "campaign/scheduler.hh"
 #include "core/drf0_checker.hh"
 #include "core/lockset.hh"
 #include "core/weak_ordering.hh"
@@ -70,41 +88,47 @@
 namespace wo {
 namespace {
 
+/**
+ * One wotool subcommand.  The table (bottom of this file) drives both
+ * the usage text and the dispatcher, so a dispatchable subcommand can
+ * never be missing from the usage text (and vice versa).
+ */
+struct Command
+{
+    const char *name;
+    /// When true, argv[2] is an assembly file that is parsed before
+    /// dispatch; the handler receives the result.  When false the
+    /// handler gets a null AsmResult and argv[2..] are all options.
+    bool needs_program;
+    int (*handler)(const AsmResult *a, int argc, char **argv);
+    const char *help; //!< usage lines, each "  "-indented, '\n'-ended
+};
+
+extern const Command commands[];
+extern const std::size_t num_commands;
+
 int
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: wotool <check|explore|verify|run|monitor|disasm> "
-                 "<file> [options]\n"
-                 "  check   [--weak]\n"
-                 "  explore [--model sc|wb|net|stale|def1|drf0|drf0ro]\n"
-                 "  verify  [--model wb|net|stale|def1|drf0|drf0ro]\n"
-                 "  run     [--policy sc|def1|drf0|drf0ro] [--hop N]\n"
-                 "          [--jitter N] [--seed N] [--trace] [--dot F]\n"
-                 "          [--save-trace F] [--trace-json F]\n"
-                 "          [--trace-jsonl F] [--stats-json F]\n"
-                 "          [--monitor] [--flight-recorder]\n"
-                 "          [--flight-capacity N] [--sample-interval N]\n"
-                 "          [--sample-csv F] [--dump-on-fail PREFIX]\n"
-                 "          [--max-events N]\n"
-                 "  monitor [run options]  (always-on monitor verdict;\n"
-                 "          exit 1 on hardware violation or failed run)\n"
-                 "  stats   [--policy sc|def1|drf0|drf0ro]  (metrics JSON\n"
-                 "          on stdout)\n"
-                 "  lockset\n"
-                 "  litmus   (evaluate the file's 'probe' condition on\n"
-                 "            every abstract machine)\n"
-                 "  disasm\n"
-                 "  analyze-trace  (file is a trace, not a program;\n"
-                 "                  SC check + race report + Lemma 1)\n");
+    std::string names;
+    for (std::size_t i = 0; i < num_commands; ++i)
+        names += std::string(i ? "|" : "") + commands[i].name;
+    std::fprintf(stderr, "usage: wotool <%s> [<file>] [options]\n",
+                 names.c_str());
+    for (std::size_t i = 0; i < num_commands; ++i)
+        std::fputs(commands[i].help, stderr);
     return 2;
 }
 
-/** Tiny argv scanner: returns the value of --name, or nullptr. */
+/**
+ * Tiny argv scanner: returns the value of --name, or nullptr.  Scans
+ * from argv[2] because campaign takes no file argument; for the file
+ * subcommands argv[2] is a filename, which cannot equal "--name".
+ */
 const char *
 opt(int argc, char **argv, const char *name)
 {
-    for (int i = 3; i < argc - 1; ++i)
+    for (int i = 2; i < argc - 1; ++i)
         if (!std::strcmp(argv[i], name))
             return argv[i + 1];
     return nullptr;
@@ -113,7 +137,7 @@ opt(int argc, char **argv, const char *name)
 bool
 flag(int argc, char **argv, const char *name)
 {
-    for (int i = 3; i < argc; ++i)
+    for (int i = 2; i < argc; ++i)
         if (!std::strcmp(argv[i], name))
             return true;
     return false;
@@ -269,6 +293,10 @@ parseRunCfg(int argc, char **argv, SystemCfg &cfg)
             return false;
         }
     }
+    // Fault injection, so a campaign-shrunk counterexample can be
+    // replayed under the same (buggy) cache it was found on.
+    if (flag(argc, argv, "--inject-reserve-bug"))
+        cfg.cache.bug_drop_reserve_clear = true;
     return true;
 }
 
@@ -475,57 +503,235 @@ cmdAnalyzeTrace(const char *path)
     return sc.sc ? 0 : 1;
 }
 
+/** Split @p text at commas, dropping empty pieces. */
+std::vector<std::string>
+splitCommas(const char *text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char *p = text;; ++p) {
+        if (*p == ',' || *p == '\0') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+            if (*p == '\0')
+                break;
+        } else {
+            cur += *p;
+        }
+    }
+    return out;
+}
+
+int
+cmdCampaign(const AsmResult *, int argc, char **argv)
+{
+    CampaignCfg cfg;
+    if (const char *v = opt(argc, argv, "--jobs")) {
+        cfg.jobs = static_cast<int>(std::strtol(v, nullptr, 0));
+        if (cfg.jobs < 1) {
+            std::fprintf(stderr, "--jobs must be positive\n");
+            return 2;
+        }
+    }
+    if (const char *v = opt(argc, argv, "--cells")) {
+        cfg.cells = std::strtoull(v, nullptr, 0);
+        if (cfg.cells == 0) {
+            std::fprintf(stderr, "--cells must be positive\n");
+            return 2;
+        }
+    }
+    if (const char *v = opt(argc, argv, "--time-budget"))
+        cfg.time_budget_s = std::strtod(v, nullptr);
+    if (const char *v = opt(argc, argv, "--out-dir"))
+        cfg.out_dir = v;
+    if (const char *v = opt(argc, argv, "--journal"))
+        cfg.journal_path = v;
+    if (const char *v = opt(argc, argv, "--seed"))
+        cfg.seed = std::strtoull(v, nullptr, 0);
+    if (const char *v = opt(argc, argv, "--max-events")) {
+        cfg.max_events = std::strtoull(v, nullptr, 0);
+        if (cfg.max_events == 0) {
+            std::fprintf(stderr, "--max-events must be positive\n");
+            return 2;
+        }
+    }
+    if (const char *v = opt(argc, argv, "--policy")) {
+        cfg.policies.clear();
+        for (const auto &name : splitCommas(v)) {
+            OrderingPolicy p;
+            if (!parsePolicyName(name, p)) {
+                std::fprintf(stderr, "unknown policy '%s'\n",
+                             name.c_str());
+                return 2;
+            }
+            cfg.policies.push_back(p);
+        }
+        if (cfg.policies.empty()) {
+            std::fprintf(stderr, "--policy needs at least one name\n");
+            return 2;
+        }
+    }
+    if (const char *v = opt(argc, argv, "--programs"))
+        cfg.program_files = splitCommas(v);
+    cfg.shrink = !flag(argc, argv, "--no-shrink");
+    cfg.resume = flag(argc, argv, "--resume");
+    cfg.inject_reserve_bug = flag(argc, argv, "--inject-reserve-bug");
+    cfg.progress = isatty(fileno(stderr)) != 0;
+
+    CampaignSummary sum = runCampaign(cfg);
+    std::fputs(sum.table().c_str(), stdout);
+    return sum.hardwareClean() ? 0 : 1;
+}
+
+// --- uniform-signature wrappers for the command table ----------------
+
+int
+wrapCheck(const AsmResult *a, int argc, char **argv)
+{
+    return cmdCheck(*a->program, argc, argv);
+}
+
+int
+wrapExplore(const AsmResult *a, int argc, char **argv)
+{
+    return cmdExplore(*a->program, argc, argv);
+}
+
+int
+wrapVerify(const AsmResult *a, int argc, char **argv)
+{
+    return cmdVerify(*a->program, argc, argv);
+}
+
+int
+wrapRun(const AsmResult *a, int argc, char **argv)
+{
+    return cmdRun(*a, argc, argv);
+}
+
+int
+wrapMonitor(const AsmResult *a, int argc, char **argv)
+{
+    return cmdMonitor(*a, argc, argv);
+}
+
+int
+wrapStats(const AsmResult *a, int argc, char **argv)
+{
+    return cmdStats(*a, argc, argv);
+}
+
+int
+wrapLitmus(const AsmResult *a, int, char **)
+{
+    return cmdLitmus(*a);
+}
+
+int
+wrapLockset(const AsmResult *a, int, char **)
+{
+    const Program &prog = *a->program;
+    auto r = checkLockDiscipline(prog);
+    if (r.certified) {
+        std::printf("%s: CERTIFIED by the static monitor discipline\n",
+                    prog.name().c_str());
+        for (Addr addr = 0; addr < prog.numLocations(); ++addr)
+            for (Addr l : r.protection[addr])
+                std::printf("  %s protected by %s\n",
+                            prog.locationName(addr).c_str(),
+                            prog.locationName(l).c_str());
+        return 0;
+    }
+    std::printf("%s: not certified:\n", prog.name().c_str());
+    for (const auto &i : r.issues)
+        std::printf("  %s\n", i.toString(prog).c_str());
+    return 1;
+}
+
+int
+wrapDisasm(const AsmResult *a, int, char **)
+{
+    std::printf("%s", disassemble(*a->program).c_str());
+    return 0;
+}
+
+int
+wrapAnalyzeTrace(const AsmResult *, int, char **argv)
+{
+    return cmdAnalyzeTrace(argv[2]);
+}
+
+/**
+ * The single source of truth for wotool's surface: usage() prints it,
+ * toolMain() dispatches from it.  Every subcommand, including stats
+ * and campaign, must have a row here.
+ */
+const Command commands[] = {
+    {"check", true, wrapCheck, "  check <file> [--weak]\n"},
+    {"explore", true, wrapExplore,
+     "  explore <file> [--model sc|wb|net|stale|def1|drf0|drf0ro]\n"
+     "          [--witness N]\n"},
+    {"verify", true, wrapVerify,
+     "  verify <file> [--model wb|net|stale|def1|drf0|drf0ro]\n"},
+    {"run", true, wrapRun,
+     "  run <file> [--policy sc|def1|drf0|drf0ro] [--hop N]\n"
+     "      [--jitter N] [--seed N] [--trace] [--dot F]\n"
+     "      [--save-trace F] [--trace-json F] [--trace-jsonl F]\n"
+     "      [--stats-json F] [--monitor] [--flight-recorder]\n"
+     "      [--flight-capacity N] [--sample-interval N]\n"
+     "      [--sample-csv F] [--dump-on-fail PREFIX]\n"
+     "      [--max-events N] [--inject-reserve-bug]\n"},
+    {"monitor", true, wrapMonitor,
+     "  monitor <file> [run options]  (always-on monitor verdict;\n"
+     "          exit 1 on hardware violation or failed run)\n"},
+    {"stats", true, wrapStats,
+     "  stats <file> [--policy sc|def1|drf0|drf0ro]  (metrics JSON\n"
+     "        on stdout)\n"},
+    {"campaign", false, cmdCampaign,
+     "  campaign [--jobs N] [--cells N] [--time-budget SECS]\n"
+     "           [--out-dir DIR] [--journal F] [--resume]\n"
+     "           [--policy sc,def1,drf0,...] [--programs F1,F2,...]\n"
+     "           [--seed N] [--no-shrink] [--max-events N]\n"
+     "           [--inject-reserve-bug]  (bulk verification; exit 1\n"
+     "           iff a hardware violation survived shrinking)\n"},
+    {"lockset", true, wrapLockset, "  lockset <file>\n"},
+    {"litmus", true, wrapLitmus,
+     "  litmus <file>   (evaluate the file's 'probe' condition on\n"
+     "         every abstract machine)\n"},
+    {"disasm", true, wrapDisasm, "  disasm <file>\n"},
+    {"analyze-trace", false, wrapAnalyzeTrace,
+     "  analyze-trace <file>  (file is a trace, not a program;\n"
+     "                SC check + race report + Lemma 1)\n"},
+};
+const std::size_t num_commands =
+    sizeof(commands) / sizeof(commands[0]);
+
 int
 toolMain(int argc, char **argv)
 {
-    if (argc < 3)
+    if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
-    if (cmd == "analyze-trace")
-        return cmdAnalyzeTrace(argv[2]);
-    AsmResult a = assembleFile(argv[2]);
-    if (!a.ok()) {
-        for (const auto &e : a.errors)
-            std::fprintf(stderr, "%s: %s\n", argv[2],
-                         e.toString().c_str());
-        return 2;
-    }
-    const Program &prog = *a.program;
-    if (cmd == "litmus")
-        return cmdLitmus(a);
-    if (cmd == "check")
-        return cmdCheck(prog, argc, argv);
-    if (cmd == "explore")
-        return cmdExplore(prog, argc, argv);
-    if (cmd == "verify")
-        return cmdVerify(prog, argc, argv);
-    if (cmd == "run")
-        return cmdRun(a, argc, argv);
-    if (cmd == "monitor")
-        return cmdMonitor(a, argc, argv);
-    if (cmd == "stats")
-        return cmdStats(a, argc, argv);
-    if (cmd == "lockset") {
-        auto r = checkLockDiscipline(prog);
-        if (r.certified) {
-            std::printf("%s: CERTIFIED by the static monitor "
-                        "discipline\n",
-                        prog.name().c_str());
-            for (Addr a = 0; a < prog.numLocations(); ++a)
-                for (Addr l : r.protection[a])
-                    std::printf("  %s protected by %s\n",
-                                prog.locationName(a).c_str(),
-                                prog.locationName(l).c_str());
-            return 0;
+    for (const Command &c : commands) {
+        if (cmd != c.name)
+            continue;
+        if (!c.needs_program) {
+            // analyze-trace still takes a file path in argv[2].
+            if (cmd == "analyze-trace" && argc < 3)
+                return usage();
+            return c.handler(nullptr, argc, argv);
         }
-        std::printf("%s: not certified:\n", prog.name().c_str());
-        for (const auto &i : r.issues)
-            std::printf("  %s\n", i.toString(prog).c_str());
-        return 1;
-    }
-    if (cmd == "disasm") {
-        std::printf("%s", disassemble(prog).c_str());
-        return 0;
+        if (argc < 3)
+            return usage();
+        AsmResult a = assembleFile(argv[2]);
+        if (!a.ok()) {
+            for (const auto &e : a.errors)
+                std::fprintf(stderr, "%s: %s\n", argv[2],
+                             e.toString().c_str());
+            return 2;
+        }
+        return c.handler(&a, argc, argv);
     }
     return usage();
 }
