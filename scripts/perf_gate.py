@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Hold fresh benchmark runs to the committed perf baseline.
+
+Compares the headline throughput numbers of a fresh bench run (a
+directory of BENCH_*.json files, typically produced in CI) against the
+baseline artifacts committed at the repository root, and fails on a
+regression beyond the tolerance band.  Improvements always pass; commit
+the refreshed artifacts (scripts/bench_all.sh) to ratchet the baseline.
+
+Usage:
+    scripts/perf_gate.py --baseline . --fresh fresh-bench [--tolerance 0.20]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# (artifact file, metric key, human name) -- the gated trajectory.
+GATED = [
+    ("BENCH_campaign.json", "jobs1_cells_per_sec", "campaign cells/sec"),
+    ("BENCH_kernel.json", "ticks_per_sec", "kernel ticks/sec"),
+]
+
+
+def load_metric(directory, fname, key):
+    path = os.path.join(directory, fname)
+    if not os.path.exists(path):
+        return None, path
+    with open(path) as f:
+        data = json.load(f)
+    if key not in data:
+        raise SystemExit(f"error: {path} has no '{key}' member")
+    return float(data[key]), path
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default=".",
+                    help="directory with the committed BENCH_*.json")
+    ap.add_argument("--fresh", required=True,
+                    help="directory with the freshly produced BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed fractional slowdown (default 0.20)")
+    args = ap.parse_args()
+
+    failures = []
+    for fname, key, name in GATED:
+        base, base_path = load_metric(args.baseline, fname, key)
+        fresh, fresh_path = load_metric(args.fresh, fname, key)
+        if fresh is None:
+            raise SystemExit(f"error: fresh run produced no {fresh_path}")
+        if base is None:
+            print(f"  [skip] {name}: no committed baseline "
+                  f"({base_path}); run scripts/bench_all.sh and commit")
+            continue
+        floor = base * (1.0 - args.tolerance)
+        ratio = fresh / base if base > 0 else float("inf")
+        verdict = "ok" if fresh >= floor else "REGRESSION"
+        print(f"  [{verdict}] {name}: fresh {fresh:,.1f} vs baseline "
+              f"{base:,.1f} ({ratio:.2f}x, floor {floor:,.1f})")
+        if fresh < floor:
+            failures.append(name)
+
+    if failures:
+        print(f"perf gate FAILED: {', '.join(failures)} regressed more "
+              f"than {args.tolerance:.0%} below the committed baseline")
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

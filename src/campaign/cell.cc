@@ -121,16 +121,20 @@ Cell::familyId() const
 }
 
 SystemCfg
-Cell::systemCfg(std::uint64_t max_events) const
+Cell::systemCfg(std::uint64_t max_events, EventQueueKind queue) const
 {
     SystemCfg cfg;
     cfg.policy = policy;
+    cfg.queue = queue;
     cfg.net.seed = net_seed;
     cfg.net.hop_latency = hop;
     cfg.net.jitter = jitter;
     cfg.cache.bug_drop_reserve_clear = inject_reserve_bug;
     cfg.monitor = true;
     cfg.quiet = true;
+    // Cells read only the verdict, outcome and monitor summary; the
+    // stats/JSON renders would dominate thousands of tiny runs.
+    cfg.collect_stats = false;
     cfg.max_events = max_events;
     return cfg;
 }
@@ -215,7 +219,7 @@ CellResult::verdict() const
 }
 
 CellRun
-runCell(const Cell &cell, std::uint64_t max_events)
+runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue)
 {
     CellRun run;
     CellResult &r = run.result;
@@ -230,7 +234,7 @@ runCell(const Cell &cell, std::uint64_t max_events)
     run.warm = std::move(m.warm);
 
     const auto t0 = std::chrono::steady_clock::now();
-    System sys(*run.program, cell.systemCfg(max_events));
+    System sys(*run.program, cell.systemCfg(max_events, queue));
     for (const auto &w : run.warm)
         sys.warmShared(w.addr, w.procs);
     SystemResult sr = sys.run();

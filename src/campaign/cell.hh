@@ -75,8 +75,14 @@ struct Cell
      */
     std::string familyId() const;
 
-    /** The timed-system configuration this cell runs under. */
-    SystemCfg systemCfg(std::uint64_t max_events) const;
+    /**
+     * The timed-system configuration this cell runs under.  @p queue
+     * selects the event kernel: the legacy heap exists so a campaign
+     * can cross-check verdicts against the pre-overhaul kernel.
+     */
+    SystemCfg systemCfg(std::uint64_t max_events,
+                        EventQueueKind queue =
+                            EventQueueKind::calendar) const;
 };
 
 /** A materialized cell program, or why it could not be built. */
@@ -138,7 +144,8 @@ struct CellRun
     std::vector<WarmTerm> warm;
 };
 
-CellRun runCell(const Cell &cell, std::uint64_t max_events);
+CellRun runCell(const Cell &cell, std::uint64_t max_events,
+                EventQueueKind queue = EventQueueKind::calendar);
 
 /** 64-bit FNV-1a over @p text, rendered as 16 hex digits. */
 std::string fnv1aHex(const std::string &text);

@@ -130,6 +130,13 @@ struct Engine
     std::mutex fail_mu;
     std::map<std::string, FailureRecord> failures; //!< this run's finds
 
+    EventQueueKind
+    queueKind() const
+    {
+        return cfg.legacy_queue ? EventQueueKind::legacy_heap
+                                : EventQueueKind::calendar;
+    }
+
     bool
     timeUp() const
     {
@@ -175,7 +182,8 @@ Engine::handleFailure(const Cell &cell, CellRun &run)
     scfg.max_runs = cfg.shrink ? cfg.shrink_max_runs : 1;
     ShrinkOutcome s =
         shrinkCounterexample(*run.program, run.warm,
-                             cell.systemCfg(cfg.max_events), kind, scfg);
+                             cell.systemCfg(cfg.max_events, queueKind()), kind,
+                             scfg);
 
     const std::string hash = fnv1aHex(s.wo_text).substr(0, 12);
     const std::string dedup = run.result.primary_kind + ":" + hash;
@@ -191,7 +199,7 @@ Engine::handleFailure(const Cell &cell, CellRun &run)
         writeFile(wo_path, s.wo_text);
         // The evidence bundle: re-run the minimum with the flight
         // recorder on and the failure dump pointed into the out dir.
-        SystemCfg ev = cell.systemCfg(cfg.max_events);
+        SystemCfg ev = cell.systemCfg(cfg.max_events, queueKind());
         ev.flight_recorder = true;
         ev.dump_on_fail = stem;
         System sys(*s.program, ev);
@@ -239,7 +247,7 @@ Engine::worker(int w)
             ++completed;
             continue;
         }
-        CellRun run = runCell(cell, cfg.max_events);
+        CellRun run = runCell(cell, cfg.max_events, queueKind());
         journal.appendCell(run.result);
         classify(run.result);
         for (Cell &m : fuzzer.observe(cell, run.result))

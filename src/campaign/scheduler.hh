@@ -52,6 +52,8 @@ struct CampaignCfg
     std::uint64_t shrink_max_runs = 500;
     bool inject_reserve_bug = false; //!< seeded-fault campaign
     bool progress = false;        //!< live progress line on stderr
+    /** Run cells on the legacy heap kernel (A/B cross-checking). */
+    bool legacy_queue = false;
 };
 
 /** One deduplicated hardware failure, as the campaign reports it. */

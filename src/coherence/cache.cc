@@ -115,15 +115,21 @@ Cache::commit(const CacheReq &req, Tick delay, bool performed_now)
     }
     CacheClient *client = client_;
     const std::uint64_t rid = req.id;
-    eq_.schedule(delay, strprintf("c%u.commit#%llu", id_,
-                                  static_cast<unsigned long long>(rid)),
+    eq_.schedule(delay,
+                 [this, rid] {
+                     return strprintf("c%u.commit#%llu", id_,
+                                      static_cast<unsigned long long>(rid));
+                 },
                  [client, rid, read_value] {
                      client->onCommit(rid, read_value);
                  });
     if (performed_now) {
         eq_.schedule(delay,
-                     strprintf("c%u.perf#%llu", id_,
-                               static_cast<unsigned long long>(rid)),
+                     [this, rid] {
+                         return strprintf(
+                             "c%u.perf#%llu", id_,
+                             static_cast<unsigned long long>(rid));
+                     },
                      [client, rid] { client->onGloballyPerformed(rid); });
     }
 }
@@ -354,8 +360,11 @@ Cache::handleMemAck(const Message &msg)
     mem_ack_wait_.erase(it);
     decrementCounter();
     CacheClient *client = client_;
-    eq_.schedule(0, strprintf("c%u.memack#%llu", id_,
-                              static_cast<unsigned long long>(rid)),
+    eq_.schedule(0,
+                 [this, rid] {
+                     return strprintf("c%u.memack#%llu", id_,
+                                      static_cast<unsigned long long>(rid));
+                 },
                  [client, rid] { client->onGloballyPerformed(rid); });
 }
 
@@ -396,7 +405,10 @@ Cache::handleNack(const Message &msg)
     const Addr addr = msg.addr;
     const bool exclusive = m.want_exclusive;
     const bool is_sync = m.req.is_sync;
-    eq_.schedule(cfg_.retry_delay, strprintf("c%u.retry[%u]", id_, addr),
+    eq_.schedule(cfg_.retry_delay,
+                 [this, addr] {
+                     return strprintf("c%u.retry[%u]", id_, addr);
+                 },
                  [this, addr, exclusive, is_sync] {
                      // The MSHR is still allocated; re-send the request.
                      wo_assert(mshrs_.count(addr),

@@ -48,7 +48,8 @@ Network::send(Message msg)
                      msgTypeName(msg.type), msg.addr, msg.is_sync);
     MsgHandler *handler = handlers_[msg.dst];
     ++in_flight_;
-    eq_.scheduleAt(when, msg.toString(), [this, handler, msg] {
+    eq_.scheduleAt(when, [msg] { return msg.toString(); },
+                   [this, handler, msg] {
         --in_flight_;
         handler->receive(msg);
     });

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The event kernel's callback slot.
+ *
+ * std::function is the wrong vehicle for a discrete-event hot path: its
+ * small-buffer threshold is implementation-defined, it is copyable (so
+ * every capture must be), and libstdc++ heap-allocates for captures
+ * beyond two pointers.  EventCallback is a move-only callable slot with
+ * a guaranteed inline capacity sized for the simulator's largest
+ * capture (a Network delivery: this + handler + a Message).  Callables
+ * that fit are stored in place; larger ones fall back to the heap and
+ * are counted, so a test can pin the simulator's steady state at zero
+ * fallbacks.
+ */
+
+#ifndef WO_EVENT_CALLBACK_HH
+#define WO_EVENT_CALLBACK_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace wo {
+
+/** A move-only `void()` callable with small-buffer-optimized storage. */
+class EventCallback
+{
+  public:
+    /** Inline capture capacity, in bytes. */
+    static constexpr std::size_t inline_capacity = 56;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    EventCallback(F &&f) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            ops_ = &inline_ops<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(buf_) = new Fn(std::forward<F>(f));
+            ops_ = &heap_ops<Fn>;
+            ++heap_fallbacks_;
+        }
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** True when a callable is stored. */
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    /** Invoke the stored callable (must not be empty). */
+    void operator()() { ops_->invoke(buf_); }
+
+    /**
+     * Callables too large (or too throwy to move) for the inline buffer
+     * since process start.  The simulator's own captures all fit; the
+     * counter exists so a regression test can prove they keep fitting.
+     */
+    static std::uint64_t heapFallbacks() { return heap_fallbacks_; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *self);
+        /** Move-construct src's callable into dst's buffer, destroy src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *self);
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= inline_capacity &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    static constexpr Ops inline_ops = {
+        [](void *self) { (*std::launder(reinterpret_cast<Fn *>(self)))(); },
+        [](void *dst, void *src) noexcept {
+            Fn *s = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*s));
+            s->~Fn();
+        },
+        [](void *self) { std::launder(reinterpret_cast<Fn *>(self))->~Fn(); },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heap_ops = {
+        [](void *self) { (**reinterpret_cast<Fn **>(self))(); },
+        [](void *dst, void *src) noexcept {
+            *reinterpret_cast<Fn **>(dst) = *reinterpret_cast<Fn **>(src);
+        },
+        [](void *self) { delete *reinterpret_cast<Fn **>(self); },
+    };
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void
+    reset()
+    {
+        if (ops_) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    const Ops *ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[inline_capacity];
+
+    inline static std::uint64_t heap_fallbacks_ = 0;
+};
+
+} // namespace wo
+
+#endif // WO_EVENT_CALLBACK_HH

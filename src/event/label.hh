@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Lazily-materialized event labels.
+ *
+ * Every event used to carry a formatted std::string label, built (and
+ * heap-allocated) at schedule() time even though the label is only ever
+ * read under verbose logging or queue-event tracing.  EventLabel stores
+ * either a string literal or a small trivially-copyable closure that
+ * renders the text on demand; scheduling an event costs no formatting
+ * and no allocation, and a run without an attached consumer
+ * materializes nothing.  Lazy materializations are counted so a
+ * regression test can assert a no-obs run stays at zero.
+ */
+
+#ifndef WO_EVENT_LABEL_HH
+#define WO_EVENT_LABEL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string>
+#include <type_traits>
+
+namespace wo {
+
+/** A debugging label rendered only when someone actually looks at it. */
+class EventLabel
+{
+  public:
+    /** Inline capture capacity for lazy labels, in bytes. */
+    static constexpr std::size_t inline_capacity = 40;
+
+    /** An empty label. */
+    EventLabel() = default;
+
+    /** A literal label: stores the pointer, never formats or copies. */
+    EventLabel(const char *literal) : literal_(literal) {}
+
+    /**
+     * A lazy label: @p f renders the text when (and only when) the
+     * label is materialized.  The capture must be trivially copyable
+     * and fit the inline buffer, which keeps EventLabel itself
+     * trivially copyable -- an event never owns label storage.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_convertible_v<F, const char *> &&
+                  !std::is_same_v<std::decay_t<F>, EventLabel> &&
+                  std::is_invocable_r_v<std::string, const std::decay_t<F> &>>>
+    EventLabel(F f) // NOLINT: implicit by design
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(std::is_trivially_copyable_v<Fn>,
+                      "lazy label captures must be trivially copyable");
+        static_assert(sizeof(Fn) <= inline_capacity,
+                      "lazy label capture exceeds the inline buffer");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "lazy label capture over-aligned");
+        ::new (static_cast<void *>(buf_)) Fn(f);
+        make_ = [](const void *p) {
+            return (*std::launder(reinterpret_cast<const Fn *>(p)))();
+        };
+    }
+
+    /** True when no label was provided. */
+    bool empty() const { return !literal_ && !make_; }
+
+    /** Render the label text.  Lazy renders are counted. */
+    std::string
+    materialize() const
+    {
+        if (make_) {
+            ++lazy_materializations_;
+            return make_(buf_);
+        }
+        return literal_ ? std::string(literal_) : std::string();
+    }
+
+    /**
+     * Lazy labels rendered since process start.  The regression tests
+     * assert the delta over a no-obs run is exactly zero.
+     */
+    static std::uint64_t lazyMaterializations()
+    {
+        return lazy_materializations_;
+    }
+
+  private:
+    const char *literal_ = nullptr;
+    std::string (*make_)(const void *) = nullptr;
+    alignas(std::max_align_t) unsigned char buf_[inline_capacity];
+
+    inline static std::uint64_t lazy_materializations_ = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<EventLabel>,
+              "events copy labels by value on every queue move");
+
+} // namespace wo
+
+#endif // WO_EVENT_LABEL_HH

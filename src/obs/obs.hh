@@ -117,6 +117,16 @@ class Obs
     bool tracing() const { return trace_enabled_; }
 
     /**
+     * Does the trace want per-firing queue events?  The kernel asks
+     * before materializing an event label, so a run that never looks at
+     * labels never pays for building them.
+     */
+    bool wantsQueueEvents() const
+    {
+        return trace_enabled_ && trace_queue_events_;
+    }
+
+    /**
      * Attach the online invariant monitor.  Retired operations and
      * counter/reserve transitions are forwarded to it; violations it
      * raises are mirrored into the flight recorder (when attached).

@@ -58,7 +58,8 @@ Cpu::wake(Tick delay)
     if (step_scheduled_ || halted_)
         return;
     step_scheduled_ = true;
-    eq_.schedule(delay, strprintf("cpu%u.step", id_), [this] {
+    eq_.schedule(delay, [this] { return strprintf("cpu%u.step", id_); },
+                 [this] {
         step_scheduled_ = false;
         step();
     });

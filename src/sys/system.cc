@@ -34,7 +34,7 @@ SystemResult::stall_stat_total(const std::string &name) const
 }
 
 System::System(const Program &prog, const SystemCfg &cfg)
-    : prog_(prog), cfg_(cfg)
+    : prog_(prog), cfg_(cfg), eq_(cfg.queue)
 {
     const ProcId procs = prog.numThreads();
     const NodeId dir_id = procs;
@@ -242,7 +242,8 @@ System::run()
         r.monitor_violations = monitor_->totalViolations();
         r.monitor_hw_violations = monitor_->hardwareViolations();
         r.monitor_races = monitor_->races();
-        r.monitor_report = monitor_->report();
+        if (cfg_.collect_stats)
+            r.monitor_report = monitor_->report();
     }
     if (sampler_)
         r.sampler_csv = sampler_->csv();
@@ -251,12 +252,16 @@ System::run()
     else if (monitor_ && monitor_->hardwareViolations() > 0)
         dumpEvidence("monitor violation");
 
-    r.execution = *exec_;
     r.outcome.regs.reserve(cpus_.size());
     for (auto &cpu : cpus_)
         r.outcome.regs.emplace_back(cpu->regs().begin(),
                                     cpu->regs().end());
     r.outcome.memory = finalMemory();
+
+    if (!cfg_.collect_stats)
+        return r;
+
+    r.execution = *exec_;
     for (auto &cpu : cpus_)
         r.timings.push_back(cpu->timings());
 

@@ -35,6 +35,12 @@ struct SystemCfg
     CpuCfg cpu;
     /** Event budget; exceeding it marks the run livelocked. */
     std::uint64_t max_events = 20'000'000;
+    /**
+     * Which event-kernel implementation drives the run.  The legacy
+     * heap exists only for the kernel-equivalence golden test (and
+     * requires the WO_LEGACY_EVENT_QUEUE build option).
+     */
+    EventQueueKind queue = EventQueueKind::calendar;
     /** Record the structured trace (Chrome trace JSON + JSONL). */
     bool trace = false;
     /** With trace: also record every event-queue firing (noisy). */
@@ -47,6 +53,15 @@ struct SystemCfg
     std::size_t flight_recorder_capacity = 4096;
     /** Period of the time-series sampler, in ticks; 0 = off. */
     Tick sample_interval = 0;
+    /**
+     * Assemble the full result: execution copy, per-op timings, the
+     * stats text dump, the stats_json metrics tree and the rendered
+     * monitor report.  Campaign cells turn this off -- they only read
+     * the verdict, the outcome and the monitor's numeric summary, and
+     * rendering JSON for thousands of tiny runs would dominate the
+     * fleet's wall clock.
+     */
+    bool collect_stats = true;
     /**
      * Suppress the livelock warning and evidence-dump status lines.
      * Campaign workers run thousands of cells concurrently, where a

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Kernel-equivalence golden cross-check.
+ *
+ * The calendar-queue overhaul must not change observable semantics: for
+ * every program in programs/ under every ordering policy (and more than
+ * one timing configuration), the new kernel and the legacy binary-heap
+ * kernel must produce bit-identical runs -- same Monitor summary, same
+ * final outcome and statistics, and the same Chrome-trace event
+ * sequence including per-firing queue events.  The legacy kernel stays
+ * behind the WO_LEGACY_EVENT_QUEUE build option until this test has
+ * earned its retirement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.hh"
+#include "sys/system.hh"
+
+#ifndef WO_PROGRAMS_DIR
+#define WO_PROGRAMS_DIR "programs"
+#endif
+
+#ifdef WO_HAVE_LEGACY_EVENT_QUEUE
+
+namespace wo {
+namespace {
+
+std::vector<std::string>
+programFiles()
+{
+    std::vector<std::string> files;
+    for (const auto &e :
+         std::filesystem::directory_iterator(WO_PROGRAMS_DIR))
+        if (e.path().extension() == ".wo")
+            files.push_back(e.path().string());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+/** Everything observable about one run, rendered to strings. */
+struct RunImage
+{
+    std::string verdict;
+    std::string outcome;
+    std::string monitor_report;
+    std::string stats_json;
+    std::string chrome_trace;
+    std::string jsonl;
+    Tick finish = 0;
+    Tick drain = 0;
+    std::uint64_t events = 0;
+};
+
+RunImage
+runOn(const AsmResult &a, OrderingPolicy policy, std::uint64_t seed,
+      Tick jitter, EventQueueKind kind)
+{
+    SystemCfg cfg;
+    cfg.policy = policy;
+    cfg.queue = kind;
+    cfg.monitor = true;
+    cfg.trace = true; // queue events included: labels compared too
+    cfg.quiet = true;
+    cfg.net.seed = seed;
+    cfg.net.jitter = jitter;
+    cfg.max_events = 2'000'000;
+    System sys(*a.program, cfg);
+    for (const auto &w : a.warm)
+        sys.warmShared(w.addr, w.procs);
+    SystemResult r = sys.run();
+
+    RunImage img;
+    img.verdict = r.completed ? "completed"
+                              : (r.deadlocked ? "deadlock" : "livelock");
+    img.outcome = r.outcome.toString();
+    img.monitor_report = r.monitor_report;
+    img.stats_json = r.stats_json;
+    img.chrome_trace = sys.obs().chromeTraceJson();
+    img.jsonl = sys.obs().traceJsonl();
+    img.finish = r.finish_tick;
+    img.drain = r.drain_tick;
+    img.events = sys.eventQueue().executed();
+    return img;
+}
+
+TEST(KernelEquivalence, GoldenCrossCheckOverAllProgramsAndPolicies)
+{
+    const auto files = programFiles();
+    ASSERT_FALSE(files.empty()) << "no programs under " WO_PROGRAMS_DIR;
+
+    const OrderingPolicy policies[] = {
+        OrderingPolicy::sc, OrderingPolicy::wo_def1,
+        OrderingPolicy::wo_drf0, OrderingPolicy::wo_drf0_ro};
+    // Two timing points: the quiet default and a jittery interconnect,
+    // so the cross-check covers overflow migration and retry storms.
+    const struct { std::uint64_t seed; Tick jitter; } timings[] = {
+        {1, 0}, {42, 3}};
+
+    for (const std::string &file : files) {
+        AsmResult a = assembleFile(file);
+        ASSERT_TRUE(a.ok()) << file;
+        for (OrderingPolicy policy : policies) {
+            for (const auto &t : timings) {
+                SCOPED_TRACE(file + " / " + policyName(policy) +
+                             strprintf(" / seed=%llu jitter=%llu",
+                                       static_cast<unsigned long long>(
+                                           t.seed),
+                                       static_cast<unsigned long long>(
+                                           t.jitter)));
+                const RunImage neu = runOn(a, policy, t.seed, t.jitter,
+                                           EventQueueKind::calendar);
+                const RunImage old = runOn(a, policy, t.seed, t.jitter,
+                                           EventQueueKind::legacy_heap);
+                EXPECT_EQ(neu.verdict, old.verdict);
+                EXPECT_EQ(neu.outcome, old.outcome);
+                EXPECT_EQ(neu.monitor_report, old.monitor_report);
+                EXPECT_EQ(neu.stats_json, old.stats_json);
+                EXPECT_EQ(neu.finish, old.finish);
+                EXPECT_EQ(neu.drain, old.drain);
+                EXPECT_EQ(neu.events, old.events);
+                EXPECT_EQ(neu.jsonl, old.jsonl);
+                // The heavyweight check last: the full Chrome trace,
+                // event by event, label by label.
+                EXPECT_EQ(neu.chrome_trace, old.chrome_trace);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace wo
+
+#else // !WO_HAVE_LEGACY_EVENT_QUEUE
+
+TEST(KernelEquivalence, DISABLED_LegacyKernelCompiledOut) {}
+
+#endif

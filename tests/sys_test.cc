@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "asm/assembler.hh"
 #include "program/builder.hh"
 #include "program/litmus.hh"
 #include "program/workload.hh"
@@ -388,6 +389,60 @@ TEST(Determinism, SameSeedSameResult)
     EXPECT_EQ(ra.finish_tick, rb.finish_tick);
     EXPECT_TRUE(ra.outcome == rb.outcome);
 }
+
+TEST(EventKernel, UntracedRunRendersNoLabels)
+{
+    // Every scheduling site in the simulator hands the queue a lazy
+    // label; a full-system run with no trace and non-verbose logging
+    // must never pay to render one.
+    Program p = litmus::lockedCounter(4, 3);
+    SystemCfg cfg = cfgFor(OrderingPolicy::wo_drf0);
+    cfg.net.jitter = 3;
+    const std::uint64_t before = EventLabel::lazyMaterializations();
+    System sys(p, cfg);
+    auto r = sys.run();
+    ASSERT_TRUE(r.completed);
+    EXPECT_GT(sys.eventQueue().executed(), 500u);
+    EXPECT_EQ(EventLabel::lazyMaterializations() - before, 0u);
+}
+
+#ifdef WO_HAVE_LEGACY_EVENT_QUEUE
+TEST(EventKernel, SeededLivelockDetectsIdenticallyOnBothKernels)
+{
+    // The drain loop's livelock detector (event budget + NACK spin) must
+    // survive the kernel swap: a machine wedged by the dropped
+    // reserve-clear fault has to be flagged at the same point in
+    // simulated time by the calendar queue and the legacy heap.
+    const char *const leak = R"(program leak
+thread 0
+  tas r7 lock
+  st data 1
+  syncst lock 0
+thread 1
+  work 300
+  tas r7 lock
+  syncst lock 0
+)";
+    AsmResult a = assembleString(leak);
+    ASSERT_TRUE(a.ok());
+
+    auto wedge = [&](EventQueueKind kind) {
+        SystemCfg cfg = cfgFor(OrderingPolicy::wo_drf0);
+        cfg.queue = kind;
+        cfg.cache.bug_drop_reserve_clear = true;
+        cfg.max_events = 50'000; // the stuck machine would spin forever
+        cfg.quiet = true;
+        System sys(*a.program, cfg);
+        SystemResult r = sys.run();
+        EXPECT_FALSE(r.completed);
+        EXPECT_TRUE(r.livelocked);
+        return std::make_pair(r.drain_tick, sys.eventQueue().now());
+    };
+    const auto calendar = wedge(EventQueueKind::calendar);
+    const auto legacy = wedge(EventQueueKind::legacy_heap);
+    EXPECT_EQ(calendar, legacy);
+}
+#endif // WO_HAVE_LEGACY_EVENT_QUEUE
 
 } // namespace
 } // namespace wo

@@ -297,6 +297,10 @@ parseRunCfg(int argc, char **argv, SystemCfg &cfg)
     // replayed under the same (buggy) cache it was found on.
     if (flag(argc, argv, "--inject-reserve-bug"))
         cfg.cache.bug_drop_reserve_clear = true;
+    // A/B comparison against the pre-overhaul event kernel (see
+    // docs/PERF.md; requires the WO_LEGACY_EVENT_QUEUE build option).
+    if (flag(argc, argv, "--legacy-queue"))
+        cfg.queue = EventQueueKind::legacy_heap;
     return true;
 }
 
@@ -577,6 +581,7 @@ cmdCampaign(const AsmResult *, int argc, char **argv)
     cfg.shrink = !flag(argc, argv, "--no-shrink");
     cfg.resume = flag(argc, argv, "--resume");
     cfg.inject_reserve_bug = flag(argc, argv, "--inject-reserve-bug");
+    cfg.legacy_queue = flag(argc, argv, "--legacy-queue");
     cfg.progress = isatty(fileno(stderr)) != 0;
 
     CampaignSummary sum = runCampaign(cfg);
@@ -681,7 +686,7 @@ const Command commands[] = {
      "      [--stats-json F] [--monitor] [--flight-recorder]\n"
      "      [--flight-capacity N] [--sample-interval N]\n"
      "      [--sample-csv F] [--dump-on-fail PREFIX]\n"
-     "      [--max-events N] [--inject-reserve-bug]\n"},
+     "      [--max-events N] [--inject-reserve-bug] [--legacy-queue]\n"},
     {"monitor", true, wrapMonitor,
      "  monitor <file> [run options]  (always-on monitor verdict;\n"
      "          exit 1 on hardware violation or failed run)\n"},
@@ -693,8 +698,9 @@ const Command commands[] = {
      "           [--out-dir DIR] [--journal F] [--resume]\n"
      "           [--policy sc,def1,drf0,...] [--programs F1,F2,...]\n"
      "           [--seed N] [--no-shrink] [--max-events N]\n"
-     "           [--inject-reserve-bug]  (bulk verification; exit 1\n"
-     "           iff a hardware violation survived shrinking)\n"},
+     "           [--inject-reserve-bug] [--legacy-queue]\n"
+     "           (bulk verification; exit 1 iff a hardware violation\n"
+     "           survived shrinking)\n"},
     {"lockset", true, wrapLockset, "  lockset <file>\n"},
     {"litmus", true, wrapLitmus,
      "  litmus <file>   (evaluate the file's 'probe' condition on\n"
