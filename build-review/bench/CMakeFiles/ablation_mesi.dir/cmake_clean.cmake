@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mesi.dir/ablation_mesi.cc.o"
+  "CMakeFiles/ablation_mesi.dir/ablation_mesi.cc.o.d"
+  "ablation_mesi"
+  "ablation_mesi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mesi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parallel_inv.dir/ablation_parallel_inv.cc.o"
+  "CMakeFiles/ablation_parallel_inv.dir/ablation_parallel_inv.cc.o.d"
+  "ablation_parallel_inv"
+  "ablation_parallel_inv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_inv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

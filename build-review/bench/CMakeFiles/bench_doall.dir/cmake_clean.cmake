@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_doall.dir/bench_doall.cc.o"
+  "CMakeFiles/bench_doall.dir/bench_doall.cc.o.d"
+  "bench_doall"
+  "bench_doall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_doall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

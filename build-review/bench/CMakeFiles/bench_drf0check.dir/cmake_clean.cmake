@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drf0check.dir/bench_drf0check.cc.o"
+  "CMakeFiles/bench_drf0check.dir/bench_drf0check.cc.o.d"
+  "bench_drf0check"
+  "bench_drf0check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drf0check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

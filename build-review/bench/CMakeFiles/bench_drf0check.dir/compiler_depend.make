@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_drf0check.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spinning.dir/bench_spinning.cc.o"
+  "CMakeFiles/bench_spinning.dir/bench_spinning.cc.o.d"
+  "bench_spinning"
+  "bench_spinning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spinning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

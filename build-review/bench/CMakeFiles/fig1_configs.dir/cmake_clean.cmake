@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_configs.dir/fig1_configs.cc.o"
+  "CMakeFiles/fig1_configs.dir/fig1_configs.cc.o.d"
+  "fig1_configs"
+  "fig1_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

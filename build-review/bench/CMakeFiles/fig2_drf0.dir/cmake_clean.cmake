@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_drf0.dir/fig2_drf0.cc.o"
+  "CMakeFiles/fig2_drf0.dir/fig2_drf0.cc.o.d"
+  "fig2_drf0"
+  "fig2_drf0.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_drf0.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

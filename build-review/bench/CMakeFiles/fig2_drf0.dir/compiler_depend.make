@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_drf0.
+# This may be replaced when dependencies are built.

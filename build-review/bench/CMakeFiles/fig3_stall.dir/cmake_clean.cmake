@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stall.dir/fig3_stall.cc.o"
+  "CMakeFiles/fig3_stall.dir/fig3_stall.cc.o.d"
+  "fig3_stall"
+  "fig3_stall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress_deadlock.dir/stress_deadlock.cc.o"
+  "CMakeFiles/stress_deadlock.dir/stress_deadlock.cc.o.d"
+  "stress_deadlock"
+  "stress_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_latency.dir/sweep_latency.cc.o"
+  "CMakeFiles/sweep_latency.dir/sweep_latency.cc.o.d"
+  "sweep_latency"
+  "sweep_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_mlp.dir/sweep_mlp.cc.o"
+  "CMakeFiles/sweep_mlp.dir/sweep_mlp.cc.o.d"
+  "sweep_mlp"
+  "sweep_mlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_mlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

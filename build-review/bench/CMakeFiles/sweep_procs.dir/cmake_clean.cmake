@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_procs.dir/sweep_procs.cc.o"
+  "CMakeFiles/sweep_procs.dir/sweep_procs.cc.o.d"
+  "sweep_procs"
+  "sweep_procs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_procs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

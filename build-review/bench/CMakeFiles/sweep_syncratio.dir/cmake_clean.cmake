@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_syncratio.dir/sweep_syncratio.cc.o"
+  "CMakeFiles/sweep_syncratio.dir/sweep_syncratio.cc.o.d"
+  "sweep_syncratio"
+  "sweep_syncratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_syncratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_def1.dir/verify_def1.cc.o"
+  "CMakeFiles/verify_def1.dir/verify_def1.cc.o.d"
+  "verify_def1"
+  "verify_def1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_def1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

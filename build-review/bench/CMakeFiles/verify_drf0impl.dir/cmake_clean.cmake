@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_drf0impl.dir/verify_drf0impl.cc.o"
+  "CMakeFiles/verify_drf0impl.dir/verify_drf0impl.cc.o.d"
+  "verify_drf0impl"
+  "verify_drf0impl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_drf0impl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_lab.dir/litmus_lab.cpp.o"
+  "CMakeFiles/litmus_lab.dir/litmus_lab.cpp.o.d"
+  "litmus_lab"
+  "litmus_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

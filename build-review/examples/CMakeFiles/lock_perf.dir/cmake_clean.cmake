@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_perf.dir/lock_perf.cpp.o"
+  "CMakeFiles/lock_perf.dir/lock_perf.cpp.o.d"
+  "lock_perf"
+  "lock_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

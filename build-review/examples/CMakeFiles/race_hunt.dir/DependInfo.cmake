@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/race_hunt.cpp" "examples/CMakeFiles/race_hunt.dir/race_hunt.cpp.o" "gcc" "examples/CMakeFiles/race_hunt.dir/race_hunt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sys/CMakeFiles/wo_sys.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/coherence/CMakeFiles/wo_coherence.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/wo_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/models/CMakeFiles/wo_models.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sc/CMakeFiles/wo_sc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hb/CMakeFiles/wo_hb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/execution/CMakeFiles/wo_execution.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/program/CMakeFiles/wo_program.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/event/CMakeFiles/wo_event.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/wo_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/wo_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

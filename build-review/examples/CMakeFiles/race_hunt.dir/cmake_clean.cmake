@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_hunt.dir/race_hunt.cpp.o"
+  "CMakeFiles/race_hunt.dir/race_hunt.cpp.o.d"
+  "race_hunt"
+  "race_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

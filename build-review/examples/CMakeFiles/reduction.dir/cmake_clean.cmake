@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reduction.dir/reduction.cpp.o"
+  "CMakeFiles/reduction.dir/reduction.cpp.o.d"
+  "reduction"
+  "reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("obs")
+subdirs("event")
+subdirs("program")
+subdirs("execution")
+subdirs("hb")
+subdirs("sc")
+subdirs("models")
+subdirs("coherence")
+subdirs("sys")
+subdirs("core")
+subdirs("asm")
+subdirs("campaign")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_asm.dir/assembler.cc.o"
+  "CMakeFiles/wo_asm.dir/assembler.cc.o.d"
+  "libwo_asm.a"
+  "libwo_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_campaign.dir/cell.cc.o"
+  "CMakeFiles/wo_campaign.dir/cell.cc.o.d"
+  "CMakeFiles/wo_campaign.dir/fuzzer.cc.o"
+  "CMakeFiles/wo_campaign.dir/fuzzer.cc.o.d"
+  "CMakeFiles/wo_campaign.dir/journal.cc.o"
+  "CMakeFiles/wo_campaign.dir/journal.cc.o.d"
+  "CMakeFiles/wo_campaign.dir/scheduler.cc.o"
+  "CMakeFiles/wo_campaign.dir/scheduler.cc.o.d"
+  "CMakeFiles/wo_campaign.dir/shrink.cc.o"
+  "CMakeFiles/wo_campaign.dir/shrink.cc.o.d"
+  "libwo_campaign.a"
+  "libwo_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coherence/cache.cc" "src/coherence/CMakeFiles/wo_coherence.dir/cache.cc.o" "gcc" "src/coherence/CMakeFiles/wo_coherence.dir/cache.cc.o.d"
+  "/root/repo/src/coherence/directory.cc" "src/coherence/CMakeFiles/wo_coherence.dir/directory.cc.o" "gcc" "src/coherence/CMakeFiles/wo_coherence.dir/directory.cc.o.d"
+  "/root/repo/src/coherence/message.cc" "src/coherence/CMakeFiles/wo_coherence.dir/message.cc.o" "gcc" "src/coherence/CMakeFiles/wo_coherence.dir/message.cc.o.d"
+  "/root/repo/src/coherence/network.cc" "src/coherence/CMakeFiles/wo_coherence.dir/network.cc.o" "gcc" "src/coherence/CMakeFiles/wo_coherence.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/wo_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/event/CMakeFiles/wo_event.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/wo_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hb/CMakeFiles/wo_hb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/execution/CMakeFiles/wo_execution.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_coherence.dir/cache.cc.o"
+  "CMakeFiles/wo_coherence.dir/cache.cc.o.d"
+  "CMakeFiles/wo_coherence.dir/directory.cc.o"
+  "CMakeFiles/wo_coherence.dir/directory.cc.o.d"
+  "CMakeFiles/wo_coherence.dir/message.cc.o"
+  "CMakeFiles/wo_coherence.dir/message.cc.o.d"
+  "CMakeFiles/wo_coherence.dir/network.cc.o"
+  "CMakeFiles/wo_coherence.dir/network.cc.o.d"
+  "libwo_coherence.a"
+  "libwo_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_common.dir/logging.cc.o"
+  "CMakeFiles/wo_common.dir/logging.cc.o.d"
+  "CMakeFiles/wo_common.dir/random.cc.o"
+  "CMakeFiles/wo_common.dir/random.cc.o.d"
+  "CMakeFiles/wo_common.dir/stats.cc.o"
+  "CMakeFiles/wo_common.dir/stats.cc.o.d"
+  "CMakeFiles/wo_common.dir/table.cc.o"
+  "CMakeFiles/wo_common.dir/table.cc.o.d"
+  "libwo_common.a"
+  "libwo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_core.dir/conditions.cc.o"
+  "CMakeFiles/wo_core.dir/conditions.cc.o.d"
+  "CMakeFiles/wo_core.dir/doall.cc.o"
+  "CMakeFiles/wo_core.dir/doall.cc.o.d"
+  "CMakeFiles/wo_core.dir/drf0_checker.cc.o"
+  "CMakeFiles/wo_core.dir/drf0_checker.cc.o.d"
+  "CMakeFiles/wo_core.dir/lockset.cc.o"
+  "CMakeFiles/wo_core.dir/lockset.cc.o.d"
+  "CMakeFiles/wo_core.dir/weak_ordering.cc.o"
+  "CMakeFiles/wo_core.dir/weak_ordering.cc.o.d"
+  "libwo_core.a"
+  "libwo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_event.dir/event_queue.cc.o"
+  "CMakeFiles/wo_event.dir/event_queue.cc.o.d"
+  "libwo_event.a"
+  "libwo_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/execution/execution.cc" "src/execution/CMakeFiles/wo_execution.dir/execution.cc.o" "gcc" "src/execution/CMakeFiles/wo_execution.dir/execution.cc.o.d"
+  "/root/repo/src/execution/memory_op.cc" "src/execution/CMakeFiles/wo_execution.dir/memory_op.cc.o" "gcc" "src/execution/CMakeFiles/wo_execution.dir/memory_op.cc.o.d"
+  "/root/repo/src/execution/trace_io.cc" "src/execution/CMakeFiles/wo_execution.dir/trace_io.cc.o" "gcc" "src/execution/CMakeFiles/wo_execution.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/wo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

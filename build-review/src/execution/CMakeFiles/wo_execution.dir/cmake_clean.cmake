@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_execution.dir/execution.cc.o"
+  "CMakeFiles/wo_execution.dir/execution.cc.o.d"
+  "CMakeFiles/wo_execution.dir/memory_op.cc.o"
+  "CMakeFiles/wo_execution.dir/memory_op.cc.o.d"
+  "CMakeFiles/wo_execution.dir/trace_io.cc.o"
+  "CMakeFiles/wo_execution.dir/trace_io.cc.o.d"
+  "libwo_execution.a"
+  "libwo_execution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_execution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hb/closure.cc" "src/hb/CMakeFiles/wo_hb.dir/closure.cc.o" "gcc" "src/hb/CMakeFiles/wo_hb.dir/closure.cc.o.d"
+  "/root/repo/src/hb/dot.cc" "src/hb/CMakeFiles/wo_hb.dir/dot.cc.o" "gcc" "src/hb/CMakeFiles/wo_hb.dir/dot.cc.o.d"
+  "/root/repo/src/hb/fig2.cc" "src/hb/CMakeFiles/wo_hb.dir/fig2.cc.o" "gcc" "src/hb/CMakeFiles/wo_hb.dir/fig2.cc.o.d"
+  "/root/repo/src/hb/happens_before.cc" "src/hb/CMakeFiles/wo_hb.dir/happens_before.cc.o" "gcc" "src/hb/CMakeFiles/wo_hb.dir/happens_before.cc.o.d"
+  "/root/repo/src/hb/lemma1.cc" "src/hb/CMakeFiles/wo_hb.dir/lemma1.cc.o" "gcc" "src/hb/CMakeFiles/wo_hb.dir/lemma1.cc.o.d"
+  "/root/repo/src/hb/race.cc" "src/hb/CMakeFiles/wo_hb.dir/race.cc.o" "gcc" "src/hb/CMakeFiles/wo_hb.dir/race.cc.o.d"
+  "/root/repo/src/hb/vector_clock.cc" "src/hb/CMakeFiles/wo_hb.dir/vector_clock.cc.o" "gcc" "src/hb/CMakeFiles/wo_hb.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/wo_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/execution/CMakeFiles/wo_execution.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

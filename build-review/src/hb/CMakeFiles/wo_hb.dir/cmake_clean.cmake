@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_hb.dir/closure.cc.o"
+  "CMakeFiles/wo_hb.dir/closure.cc.o.d"
+  "CMakeFiles/wo_hb.dir/dot.cc.o"
+  "CMakeFiles/wo_hb.dir/dot.cc.o.d"
+  "CMakeFiles/wo_hb.dir/fig2.cc.o"
+  "CMakeFiles/wo_hb.dir/fig2.cc.o.d"
+  "CMakeFiles/wo_hb.dir/happens_before.cc.o"
+  "CMakeFiles/wo_hb.dir/happens_before.cc.o.d"
+  "CMakeFiles/wo_hb.dir/lemma1.cc.o"
+  "CMakeFiles/wo_hb.dir/lemma1.cc.o.d"
+  "CMakeFiles/wo_hb.dir/race.cc.o"
+  "CMakeFiles/wo_hb.dir/race.cc.o.d"
+  "CMakeFiles/wo_hb.dir/vector_clock.cc.o"
+  "CMakeFiles/wo_hb.dir/vector_clock.cc.o.d"
+  "libwo_hb.a"
+  "libwo_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

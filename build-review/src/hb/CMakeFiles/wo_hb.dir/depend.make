@@ -1,0 +1,2 @@
+# Empty dependencies file for wo_hb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/network_model.cc" "src/models/CMakeFiles/wo_models.dir/network_model.cc.o" "gcc" "src/models/CMakeFiles/wo_models.dir/network_model.cc.o.d"
+  "/root/repo/src/models/sc_model.cc" "src/models/CMakeFiles/wo_models.dir/sc_model.cc.o" "gcc" "src/models/CMakeFiles/wo_models.dir/sc_model.cc.o.d"
+  "/root/repo/src/models/stale_cache_model.cc" "src/models/CMakeFiles/wo_models.dir/stale_cache_model.cc.o" "gcc" "src/models/CMakeFiles/wo_models.dir/stale_cache_model.cc.o.d"
+  "/root/repo/src/models/thread_ctx.cc" "src/models/CMakeFiles/wo_models.dir/thread_ctx.cc.o" "gcc" "src/models/CMakeFiles/wo_models.dir/thread_ctx.cc.o.d"
+  "/root/repo/src/models/wo_def1_model.cc" "src/models/CMakeFiles/wo_models.dir/wo_def1_model.cc.o" "gcc" "src/models/CMakeFiles/wo_models.dir/wo_def1_model.cc.o.d"
+  "/root/repo/src/models/wo_drf0_model.cc" "src/models/CMakeFiles/wo_models.dir/wo_drf0_model.cc.o" "gcc" "src/models/CMakeFiles/wo_models.dir/wo_drf0_model.cc.o.d"
+  "/root/repo/src/models/write_buffer_model.cc" "src/models/CMakeFiles/wo_models.dir/write_buffer_model.cc.o" "gcc" "src/models/CMakeFiles/wo_models.dir/write_buffer_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/wo_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/execution/CMakeFiles/wo_execution.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/program/CMakeFiles/wo_program.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_models.dir/network_model.cc.o"
+  "CMakeFiles/wo_models.dir/network_model.cc.o.d"
+  "CMakeFiles/wo_models.dir/sc_model.cc.o"
+  "CMakeFiles/wo_models.dir/sc_model.cc.o.d"
+  "CMakeFiles/wo_models.dir/stale_cache_model.cc.o"
+  "CMakeFiles/wo_models.dir/stale_cache_model.cc.o.d"
+  "CMakeFiles/wo_models.dir/thread_ctx.cc.o"
+  "CMakeFiles/wo_models.dir/thread_ctx.cc.o.d"
+  "CMakeFiles/wo_models.dir/wo_def1_model.cc.o"
+  "CMakeFiles/wo_models.dir/wo_def1_model.cc.o.d"
+  "CMakeFiles/wo_models.dir/wo_drf0_model.cc.o"
+  "CMakeFiles/wo_models.dir/wo_drf0_model.cc.o.d"
+  "CMakeFiles/wo_models.dir/write_buffer_model.cc.o"
+  "CMakeFiles/wo_models.dir/write_buffer_model.cc.o.d"
+  "libwo_models.a"
+  "libwo_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/artifact.cc" "src/obs/CMakeFiles/wo_obs.dir/artifact.cc.o" "gcc" "src/obs/CMakeFiles/wo_obs.dir/artifact.cc.o.d"
+  "/root/repo/src/obs/json.cc" "src/obs/CMakeFiles/wo_obs.dir/json.cc.o" "gcc" "src/obs/CMakeFiles/wo_obs.dir/json.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/wo_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/wo_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/monitor.cc" "src/obs/CMakeFiles/wo_obs.dir/monitor.cc.o" "gcc" "src/obs/CMakeFiles/wo_obs.dir/monitor.cc.o.d"
+  "/root/repo/src/obs/obs.cc" "src/obs/CMakeFiles/wo_obs.dir/obs.cc.o" "gcc" "src/obs/CMakeFiles/wo_obs.dir/obs.cc.o.d"
+  "/root/repo/src/obs/recorder.cc" "src/obs/CMakeFiles/wo_obs.dir/recorder.cc.o" "gcc" "src/obs/CMakeFiles/wo_obs.dir/recorder.cc.o.d"
+  "/root/repo/src/obs/sampler.cc" "src/obs/CMakeFiles/wo_obs.dir/sampler.cc.o" "gcc" "src/obs/CMakeFiles/wo_obs.dir/sampler.cc.o.d"
+  "/root/repo/src/obs/validate.cc" "src/obs/CMakeFiles/wo_obs.dir/validate.cc.o" "gcc" "src/obs/CMakeFiles/wo_obs.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/wo_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/execution/CMakeFiles/wo_execution.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/hb/CMakeFiles/wo_hb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/event/CMakeFiles/wo_event.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

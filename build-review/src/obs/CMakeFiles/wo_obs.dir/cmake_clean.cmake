@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_obs.dir/artifact.cc.o"
+  "CMakeFiles/wo_obs.dir/artifact.cc.o.d"
+  "CMakeFiles/wo_obs.dir/json.cc.o"
+  "CMakeFiles/wo_obs.dir/json.cc.o.d"
+  "CMakeFiles/wo_obs.dir/metrics.cc.o"
+  "CMakeFiles/wo_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/wo_obs.dir/monitor.cc.o"
+  "CMakeFiles/wo_obs.dir/monitor.cc.o.d"
+  "CMakeFiles/wo_obs.dir/obs.cc.o"
+  "CMakeFiles/wo_obs.dir/obs.cc.o.d"
+  "CMakeFiles/wo_obs.dir/recorder.cc.o"
+  "CMakeFiles/wo_obs.dir/recorder.cc.o.d"
+  "CMakeFiles/wo_obs.dir/sampler.cc.o"
+  "CMakeFiles/wo_obs.dir/sampler.cc.o.d"
+  "CMakeFiles/wo_obs.dir/validate.cc.o"
+  "CMakeFiles/wo_obs.dir/validate.cc.o.d"
+  "libwo_obs.a"
+  "libwo_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

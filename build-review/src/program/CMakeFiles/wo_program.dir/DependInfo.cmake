@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/program/builder.cc" "src/program/CMakeFiles/wo_program.dir/builder.cc.o" "gcc" "src/program/CMakeFiles/wo_program.dir/builder.cc.o.d"
+  "/root/repo/src/program/instruction.cc" "src/program/CMakeFiles/wo_program.dir/instruction.cc.o" "gcc" "src/program/CMakeFiles/wo_program.dir/instruction.cc.o.d"
+  "/root/repo/src/program/litmus.cc" "src/program/CMakeFiles/wo_program.dir/litmus.cc.o" "gcc" "src/program/CMakeFiles/wo_program.dir/litmus.cc.o.d"
+  "/root/repo/src/program/program.cc" "src/program/CMakeFiles/wo_program.dir/program.cc.o" "gcc" "src/program/CMakeFiles/wo_program.dir/program.cc.o.d"
+  "/root/repo/src/program/workload.cc" "src/program/CMakeFiles/wo_program.dir/workload.cc.o" "gcc" "src/program/CMakeFiles/wo_program.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/wo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

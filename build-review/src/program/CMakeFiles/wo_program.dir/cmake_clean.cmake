@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_program.dir/builder.cc.o"
+  "CMakeFiles/wo_program.dir/builder.cc.o.d"
+  "CMakeFiles/wo_program.dir/instruction.cc.o"
+  "CMakeFiles/wo_program.dir/instruction.cc.o.d"
+  "CMakeFiles/wo_program.dir/litmus.cc.o"
+  "CMakeFiles/wo_program.dir/litmus.cc.o.d"
+  "CMakeFiles/wo_program.dir/program.cc.o"
+  "CMakeFiles/wo_program.dir/program.cc.o.d"
+  "CMakeFiles/wo_program.dir/workload.cc.o"
+  "CMakeFiles/wo_program.dir/workload.cc.o.d"
+  "libwo_program.a"
+  "libwo_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

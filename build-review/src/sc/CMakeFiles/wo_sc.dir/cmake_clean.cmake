@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_sc.dir/sc_checker.cc.o"
+  "CMakeFiles/wo_sc.dir/sc_checker.cc.o.d"
+  "libwo_sc.a"
+  "libwo_sc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wo_sys.dir/cpu.cc.o"
+  "CMakeFiles/wo_sys.dir/cpu.cc.o.d"
+  "CMakeFiles/wo_sys.dir/system.cc.o"
+  "CMakeFiles/wo_sys.dir/system.cc.o.d"
+  "libwo_sys.a"
+  "libwo_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wo_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditions_test.dir/conditions_test.cc.o"
+  "CMakeFiles/conditions_test.dir/conditions_test.cc.o.d"
+  "conditions_test"
+  "conditions_test.pdb"
+  "conditions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doall_test.dir/doall_test.cc.o"
+  "CMakeFiles/doall_test.dir/doall_test.cc.o.d"
+  "doall_test"
+  "doall_test.pdb"
+  "doall_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doall_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

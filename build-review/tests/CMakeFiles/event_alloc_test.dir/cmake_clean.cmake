@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_alloc_test.dir/event_alloc_test.cc.o"
+  "CMakeFiles/event_alloc_test.dir/event_alloc_test.cc.o.d"
+  "event_alloc_test"
+  "event_alloc_test.pdb"
+  "event_alloc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_alloc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_test.dir/hb_test.cc.o"
+  "CMakeFiles/hb_test.dir/hb_test.cc.o.d"
+  "hb_test"
+  "hb_test.pdb"
+  "hb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

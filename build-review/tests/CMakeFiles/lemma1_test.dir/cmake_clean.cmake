@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lemma1_test.dir/lemma1_test.cc.o"
+  "CMakeFiles/lemma1_test.dir/lemma1_test.cc.o.d"
+  "lemma1_test"
+  "lemma1_test.pdb"
+  "lemma1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lemma1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

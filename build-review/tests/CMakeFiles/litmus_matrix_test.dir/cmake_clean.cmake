@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_matrix_test.dir/litmus_matrix_test.cc.o"
+  "CMakeFiles/litmus_matrix_test.dir/litmus_matrix_test.cc.o.d"
+  "litmus_matrix_test"
+  "litmus_matrix_test.pdb"
+  "litmus_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

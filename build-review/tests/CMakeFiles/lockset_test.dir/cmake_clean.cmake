@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lockset_test.dir/lockset_test.cc.o"
+  "CMakeFiles/lockset_test.dir/lockset_test.cc.o.d"
+  "lockset_test"
+  "lockset_test.pdb"
+  "lockset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lockset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

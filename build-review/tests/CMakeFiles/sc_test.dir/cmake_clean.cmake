@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_test.dir/sc_test.cc.o"
+  "CMakeFiles/sc_test.dir/sc_test.cc.o.d"
+  "sc_test"
+  "sc_test.pdb"
+  "sc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

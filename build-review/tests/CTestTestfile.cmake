@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/common_test[1]_include.cmake")
+include("/root/repo/build-review/tests/event_test[1]_include.cmake")
+include("/root/repo/build-review/tests/event_alloc_test[1]_include.cmake")
+include("/root/repo/build-review/tests/kernel_equiv_test[1]_include.cmake")
+include("/root/repo/build-review/tests/program_test[1]_include.cmake")
+include("/root/repo/build-review/tests/execution_test[1]_include.cmake")
+include("/root/repo/build-review/tests/hb_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sc_test[1]_include.cmake")
+include("/root/repo/build-review/tests/models_test[1]_include.cmake")
+include("/root/repo/build-review/tests/core_test[1]_include.cmake")
+include("/root/repo/build-review/tests/coherence_test[1]_include.cmake")
+include("/root/repo/build-review/tests/sys_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lemma1_test[1]_include.cmake")
+include("/root/repo/build-review/tests/asm_test[1]_include.cmake")
+include("/root/repo/build-review/tests/lockset_test[1]_include.cmake")
+include("/root/repo/build-review/tests/litmus_matrix_test[1]_include.cmake")
+include("/root/repo/build-review/tests/directory_test[1]_include.cmake")
+include("/root/repo/build-review/tests/dot_test[1]_include.cmake")
+include("/root/repo/build-review/tests/conditions_test[1]_include.cmake")
+include("/root/repo/build-review/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build-review/tests/doall_test[1]_include.cmake")
+include("/root/repo/build-review/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build-review/tests/integration_test[1]_include.cmake")
+include("/root/repo/build-review/tests/soak_test[1]_include.cmake")
+include("/root/repo/build-review/tests/obs_test[1]_include.cmake")
+include("/root/repo/build-review/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build-review/tests/campaign_test[1]_include.cmake")

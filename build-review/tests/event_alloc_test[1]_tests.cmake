@@ -1,0 +1,3 @@
+add_test([=[EventAllocation.SteadyStateSchedulesWithoutAllocating]=]  /root/repo/build-review/tests/event_alloc_test [==[--gtest_filter=EventAllocation.SteadyStateSchedulesWithoutAllocating]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[EventAllocation.SteadyStateSchedulesWithoutAllocating]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  event_alloc_test_TESTS EventAllocation.SteadyStateSchedulesWithoutAllocating)

@@ -1,0 +1,3 @@
+add_test([=[KernelEquivalence.GoldenCrossCheckOverAllProgramsAndPolicies]=]  /root/repo/build-review/tests/kernel_equiv_test [==[--gtest_filter=KernelEquivalence.GoldenCrossCheckOverAllProgramsAndPolicies]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[KernelEquivalence.GoldenCrossCheckOverAllProgramsAndPolicies]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  kernel_equiv_test_TESTS KernelEquivalence.GoldenCrossCheckOverAllProgramsAndPolicies)

@@ -1,0 +1,3 @@
+add_test([=[Soak.RandomConfigurationsStayCorrect]=]  /root/repo/build-review/tests/soak_test [==[--gtest_filter=Soak.RandomConfigurationsStayCorrect]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Soak.RandomConfigurationsStayCorrect]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build-review/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  soak_test_TESTS Soak.RandomConfigurationsStayCorrect)

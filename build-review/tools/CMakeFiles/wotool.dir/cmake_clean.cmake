@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wotool.dir/wotool.cc.o"
+  "CMakeFiles/wotool.dir/wotool.cc.o.d"
+  "wotool"
+  "wotool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wotool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
