@@ -1,16 +1,22 @@
 /**
  * @file
  * Throughput scaling of the campaign engine: the same fixed cell
- * budget fanned over 1, 2 and 4 workers.  Cells are embarrassingly
+ * budget fanned over 1, 2, 4 and 8 workers.  Cells are embarrassingly
  * parallel (each is an independent simulated run), so cells/sec should
  * scale close to linearly with the worker count on a multi-core host;
- * the artifact records the absolute rates and the speedups so CI can
- * watch the work-stealing scheduler's overhead.  On a single-core
- * host the extra workers can only interleave, so the speedup column
- * degrades gracefully toward 1x -- the artifact is honest either way.
+ * the artifact records the absolute rates, the speedups and the
+ * per-cell latency percentiles (p50/p99 of a cell's wall time -- a
+ * serialization point on the hot path shows up as a p99 that grows
+ * with the worker count even when throughput still looks fine).  On a
+ * single-core host the extra workers can only interleave, so the
+ * speedup column degrades gracefully toward 1x -- the artifact is
+ * honest either way and records hw_threads so downstream asserts can
+ * gate on the hardware actually present.
  */
 
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "campaign/scheduler.hh"
 #include "common/table.hh"
@@ -20,6 +26,7 @@ namespace wo {
 namespace {
 
 constexpr std::uint64_t cells = 2000;
+constexpr int worker_counts[] = {1, 2, 4, 8};
 
 CampaignSummary
 runAt(int jobs, const std::string &tag)
@@ -46,42 +53,47 @@ main()
 {
     using namespace wo;
 
-    std::printf("== campaign throughput: %llu cells at 1/2/4 workers "
-                "==\n",
-                static_cast<unsigned long long>(cells));
-    const CampaignSummary s1 = runAt(1, "j1");
-    const CampaignSummary s2 = runAt(2, "j2");
-    const CampaignSummary s4 = runAt(4, "j4");
+    const unsigned hw = std::thread::hardware_concurrency();
+    std::printf("== campaign throughput: %llu cells at 1/2/4/8 workers "
+                "(%u hardware threads) ==\n",
+                static_cast<unsigned long long>(cells), hw);
+
+    std::vector<CampaignSummary> sums;
+    for (int jobs : worker_counts)
+        sums.push_back(runAt(jobs, strprintf("j%d", jobs)));
+    const CampaignSummary &s1 = sums[0];
     const auto speedup = [&](const CampaignSummary &s) {
         return s.wall_s > 0 ? s1.wall_s / s.wall_s : 0.0;
     };
 
-    Table t({"workers", "wall s", "cells/s", "speedup vs 1"});
-    const struct
-    {
-        int jobs;
-        const CampaignSummary &s;
-    } rows[] = {{1, s1}, {2, s2}, {4, s4}};
-    for (const auto &row : rows)
-        t.addRow({strprintf("%d", row.jobs),
-                  strprintf("%.2f", row.s.wall_s),
-                  strprintf("%.1f", row.s.cells_per_sec),
-                  strprintf("%.2fx", speedup(row.s))});
+    Table t({"workers", "wall s", "cells/s", "speedup vs 1", "p50 ms",
+             "p99 ms"});
+    for (std::size_t i = 0; i < sums.size(); ++i)
+        t.addRow({strprintf("%d", worker_counts[i]),
+                  strprintf("%.2f", sums[i].wall_s),
+                  strprintf("%.1f", sums[i].cells_per_sec),
+                  strprintf("%.2fx", speedup(sums[i])),
+                  strprintf("%.3f", sums[i].lat_p50_ms),
+                  strprintf("%.3f", sums[i].lat_p99_ms)});
     t.print();
     std::printf("Read: a cell is one full simulated run, so the fleet "
                 "is embarrassingly parallel; speedup tracks the "
-                "physical core count.\n");
+                "physical core count and per-cell p99 stays flat when "
+                "the hot path has no serialization point.\n");
 
     Json payload = Json::object();
     payload.set("cells", Json(cells));
-    payload.set("jobs1_wall_s", Json(s1.wall_s));
-    payload.set("jobs2_wall_s", Json(s2.wall_s));
-    payload.set("jobs4_wall_s", Json(s4.wall_s));
-    payload.set("jobs1_cells_per_sec", Json(s1.cells_per_sec));
-    payload.set("jobs2_cells_per_sec", Json(s2.cells_per_sec));
-    payload.set("jobs4_cells_per_sec", Json(s4.cells_per_sec));
-    payload.set("speedup_2", Json(speedup(s2)));
-    payload.set("speedup_4", Json(speedup(s4)));
+    payload.set("hw_threads", Json(static_cast<std::uint64_t>(hw)));
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+        const std::string p = strprintf("jobs%d_", worker_counts[i]);
+        payload.set(p + "wall_s", Json(sums[i].wall_s));
+        payload.set(p + "cells_per_sec", Json(sums[i].cells_per_sec));
+        payload.set(p + "p50_ms", Json(sums[i].lat_p50_ms));
+        payload.set(p + "p99_ms", Json(sums[i].lat_p99_ms));
+    }
+    payload.set("speedup_2", Json(speedup(sums[1])));
+    payload.set("speedup_4", Json(speedup(sums[2])));
+    payload.set("speedup_8", Json(speedup(sums[3])));
     payload.set("table", tableToJson(t));
     writeBenchArtifact("campaign", std::move(payload));
     return 0;

@@ -19,6 +19,8 @@ import sys
 # (artifact file, metric key, human name) -- the gated trajectory.
 GATED = [
     ("BENCH_campaign.json", "jobs1_cells_per_sec", "campaign cells/sec"),
+    ("BENCH_campaign.json", "jobs4_cells_per_sec",
+     "campaign cells/sec (4 workers)"),
     ("BENCH_kernel.json", "ticks_per_sec", "kernel ticks/sec"),
 ]
 

@@ -164,9 +164,38 @@ litmusCorpus()
     return corpus;
 }
 
-MaterializedCell
-materializeCell(const Cell &cell)
+const MaterializedCell *
+MaterializeCache::find(const std::string &family_id) const
 {
+    auto it = map_.find(family_id);
+    if (it == map_.end())
+        return nullptr;
+    ++hits_;
+    return &it->second;
+}
+
+const MaterializedCell &
+MaterializeCache::put(std::string family_id, MaterializedCell m)
+{
+    ++misses_;
+    return map_.insert_or_assign(std::move(family_id), std::move(m))
+        .first->second;
+}
+
+MaterializedCell
+materializeCell(const Cell &cell, MaterializeCache *cache)
+{
+    // Only deterministic repeated sources are cacheable; random draws
+    // embed a per-cell generator seed and never repeat.
+    const bool cacheable = cache && (cell.source == CellSource::file ||
+                                     cell.source == CellSource::litmus);
+    if (cacheable) {
+        const std::string id = cell.familyId();
+        if (const MaterializedCell *hit = cache->find(id))
+            return *hit;
+        return cache->put(id, materializeCell(cell, nullptr));
+    }
+
     MaterializedCell m;
     switch (cell.source) {
       case CellSource::file: {
@@ -219,13 +248,14 @@ CellResult::verdict() const
 }
 
 CellRun
-runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue)
+runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
+        MaterializeCache *cache)
 {
     CellRun run;
     CellResult &r = run.result;
     r.key = cell.key();
 
-    MaterializedCell m = materializeCell(cell);
+    MaterializedCell m = materializeCell(cell, cache);
     if (!m.ok()) {
         r.primary_kind = "materialize_error";
         return run;

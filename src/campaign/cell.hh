@@ -21,6 +21,7 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "asm/assembler.hh"
@@ -95,8 +96,48 @@ struct MaterializedCell
     bool ok() const { return program.has_value() && error.empty(); }
 };
 
-/** Build the cell's program (parses, calls the factory, or generates). */
-MaterializedCell materializeCell(const Cell &cell);
+/**
+ * A per-worker cache of materialized programs.  `file:` and `litmus:`
+ * cells rebuild the *same* program for every timing seed and policy
+ * the campaign crosses them with; re-assembling the `.wo` source or
+ * re-running the litmus factory thousands of times per campaign is
+ * pure waste.  The cache keys on the cell's familyId() and hands out
+ * copies of the parsed Program.  Random-source cells bypass it (every
+ * draw embeds its own generator seed, so no two repeat).
+ *
+ * Not thread-safe by design: each worker owns one, so lookups never
+ * synchronize.
+ */
+class MaterializeCache
+{
+  public:
+    /** Cached entry for @p family_id, or nullptr. */
+    const MaterializedCell *find(const std::string &family_id) const;
+
+    /** Store @p m under @p family_id and return the cached copy. */
+    const MaterializedCell &put(std::string family_id,
+                                MaterializedCell m);
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    friend MaterializedCell materializeCell(const Cell &,
+                                            MaterializeCache *);
+    std::unordered_map<std::string, MaterializedCell> map_;
+    mutable std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Build the cell's program (parses, calls the factory, or generates).
+ * With @p cache, repeated file/litmus specs are served from the cache
+ * (a program copy, not a rebuild); errors are cached too, so a broken
+ * corpus file costs one parse attempt per worker, not one per cell.
+ */
+MaterializedCell materializeCell(const Cell &cell,
+                                 MaterializeCache *cache = nullptr);
 
 /** A named entry of the built-in litmus corpus. */
 struct LitmusCorpusEntry
@@ -145,7 +186,8 @@ struct CellRun
 };
 
 CellRun runCell(const Cell &cell, std::uint64_t max_events,
-                EventQueueKind queue = EventQueueKind::calendar);
+                EventQueueKind queue = EventQueueKind::calendar,
+                MaterializeCache *cache = nullptr);
 
 /** 64-bit FNV-1a over @p text, rendered as 16 hex digits. */
 std::string fnv1aHex(const std::string &text);

@@ -78,27 +78,31 @@ Fuzzer::baseCell(std::uint64_t index) const
     return cell;
 }
 
+bool
+Fuzzer::insertNovel(std::array<NoveltyShard, num_shards> &shards,
+                    std::string key)
+{
+    NoveltyShard &s = shards[fnv64(key) % num_shards];
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.seen.insert(std::move(key)).second;
+}
+
 std::vector<Cell>
 Fuzzer::observe(const Cell &cell, const CellResult &r)
 {
+    const bool new_verdict = insertNovel(
+        verdict_shards_, cell.familyId() + "|" + r.verdict());
+    const bool new_outcome = insertNovel(
+        outcome_shards_, cell.programId() + "|" + r.outcome_sig);
+    novelty_.fetch_add((new_verdict ? 1 : 0) + (new_outcome ? 1 : 0),
+                       std::memory_order_relaxed);
     int energy = 0;
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        const bool new_verdict =
-            seen_verdicts_.insert(cell.familyId() + "|" + r.verdict())
-                .second;
-        const bool new_outcome =
-            seen_outcomes_
-                .insert(cell.programId() + "|" + r.outcome_sig)
-                .second;
-        novelty_ += (new_verdict ? 1 : 0) + (new_outcome ? 1 : 0);
-        if (r.hardwareFailure())
-            energy = 4; // chase the bug's neighborhood hardest
-        else if (new_verdict)
-            energy = 3;
-        else if (new_outcome)
-            energy = 2;
-    }
+    if (r.hardwareFailure())
+        energy = 4; // chase the bug's neighborhood hardest
+    else if (new_verdict)
+        energy = 3;
+    else if (new_outcome)
+        energy = 2;
     if (energy == 0)
         return {};
 
@@ -139,8 +143,7 @@ Fuzzer::observe(const Cell &cell, const CellResult &r)
 std::uint64_t
 Fuzzer::noveltyCount() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
-    return novelty_;
+    return novelty_.load(std::memory_order_relaxed);
 }
 
 } // namespace wo

@@ -19,9 +19,11 @@
 #ifndef WO_CAMPAIGN_FUZZER_HH
 #define WO_CAMPAIGN_FUZZER_HH
 
+#include <array>
+#include <atomic>
 #include <mutex>
-#include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "campaign/cell.hh"
@@ -61,13 +63,30 @@ class Fuzzer
     std::uint64_t noveltyCount() const;
 
   private:
+    /**
+     * Novelty state is sharded by key hash so the whole fleet's
+     * observe() calls stop funneling through one mutex: two workers
+     * only contend when their keys land in the same shard.  Membership
+     * is identical to the old single-set form (a key's shard is a pure
+     * function of the key), so jobs=1 behavior is unchanged.
+     */
+    static constexpr std::size_t num_shards = 16;
+    struct alignas(64) NoveltyShard
+    {
+        std::mutex mu;
+        std::unordered_set<std::string> seen;
+    };
+
+    /** Insert into the owning shard; true when the key was new. */
+    static bool insertNovel(std::array<NoveltyShard, num_shards> &shards,
+                            std::string key);
+
     std::vector<Cell> prototypes_; //!< one per corpus entry
     FuzzerCfg cfg_;
 
-    mutable std::mutex mu_;
-    std::set<std::string> seen_outcomes_; //!< programId|sig
-    std::set<std::string> seen_verdicts_; //!< familyId|verdict
-    std::uint64_t novelty_ = 0;
+    mutable std::array<NoveltyShard, num_shards> outcome_shards_; //!< programId|sig
+    mutable std::array<NoveltyShard, num_shards> verdict_shards_; //!< familyId|verdict
+    std::atomic<std::uint64_t> novelty_{0};
 };
 
 } // namespace wo

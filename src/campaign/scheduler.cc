@@ -1,9 +1,11 @@
 #include "scheduler.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <deque>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -96,6 +98,63 @@ class StealDeques
     std::vector<std::unique_ptr<Slot>> slots_;
 };
 
+/**
+ * Per-worker campaign state.  Each worker owns one cache-line-aligned
+ * block, so the hot path never bounces a shared counter line between
+ * cores.  The atomics at the front are written only by the owning
+ * worker (relaxed -- they order nothing) and summed by the progress
+ * reporter and at join; the plain fields are touched by nobody else
+ * until the fleet has joined.
+ */
+struct alignas(64) WorkerStats
+{
+    // Live counters the progress reporter may read mid-run.
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> ran{0};
+    std::atomic<std::uint64_t> skipped{0};
+    std::atomic<std::uint64_t> hw{0};
+
+    // Merged only at join.
+    std::uint64_t clean = 0;
+    std::uint64_t racy = 0;
+    std::uint64_t deadlocked = 0;
+    std::uint64_t livelocked = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t by_kind[num_violation_kinds] = {};
+    std::vector<double> lat_ms;           //!< per-cell wall time
+    std::map<std::string, FailureRecord> first_failures; //!< staged
+
+    void
+    classify(const CellResult &r)
+    {
+        for (int k = 0; k < num_violation_kinds; ++k)
+            by_kind[k] += r.by_kind[k];
+        if (r.primary_kind == "materialize_error")
+            ++errors;
+        else if (r.hardwareFailure())
+            hw.fetch_add(1, std::memory_order_relaxed);
+        else if (r.deadlocked)
+            ++deadlocked;
+        else if (r.livelocked)
+            ++livelocked;
+        else if (r.races > 0)
+            ++racy;
+        else
+            ++clean;
+    }
+};
+
+/** The quantile of a sorted sample (nearest-rank). */
+double
+quantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
 /** Shared campaign state (one per runCampaign call; no globals). */
 struct Engine
 {
@@ -103,7 +162,10 @@ struct Engine
         : cfg(c),
           fuzzer(FuzzerCfg{c.seed, c.policies, c.program_files,
                            c.inject_reserve_bug}),
-          journal(c.journal_path), deques(c.jobs)
+          journal(c.journal_path,
+                  JournalCfg{c.sync_every, c.flush_interval_ms}),
+          deques(c.jobs),
+          wstats(new WorkerStats[static_cast<std::size_t>(c.jobs)])
     {
     }
 
@@ -111,24 +173,25 @@ struct Engine
     Fuzzer fuzzer;
     Journal journal;
     StealDeques deques;
+    std::unique_ptr<WorkerStats[]> wstats;
     Clock::time_point t0;
 
+    // The only cross-worker atomics on the hot path: the global cell
+    // budget and the base-stream cursor.  Both are plain tickets --
+    // no ordering is carried through them, so relaxed is enough.
     std::atomic<std::uint64_t> tickets{0};
     std::atomic<std::uint64_t> base_index{0};
-    std::atomic<std::uint64_t> completed{0};
-    std::atomic<std::uint64_t> ran{0};
-    std::atomic<std::uint64_t> skipped{0};
-    std::atomic<std::uint64_t> clean{0};
-    std::atomic<std::uint64_t> racy{0};
-    std::atomic<std::uint64_t> hw{0};
-    std::atomic<std::uint64_t> deadlocked{0};
-    std::atomic<std::uint64_t> livelocked{0};
-    std::atomic<std::uint64_t> errors{0};
-    std::atomic<std::uint64_t> by_kind[num_violation_kinds];
+    std::atomic<std::uint64_t> unique_failures{0};
     std::atomic<bool> done{false};
 
-    std::mutex fail_mu;
-    std::map<std::string, FailureRecord> failures; //!< this run's finds
+    std::uint64_t
+    sumLive(std::atomic<std::uint64_t> WorkerStats::*f) const
+    {
+        std::uint64_t total = 0;
+        for (int w = 0; w < cfg.jobs; ++w)
+            total += (wstats[w].*f).load(std::memory_order_relaxed);
+        return total;
+    }
 
     EventQueueKind
     queueKind() const
@@ -146,31 +209,12 @@ struct Engine
                cfg.time_budget_s;
     }
 
-    void
-    classify(const CellResult &r)
-    {
-        for (int k = 0; k < num_violation_kinds; ++k)
-            by_kind[k] += r.by_kind[k];
-        if (r.primary_kind == "materialize_error")
-            ++errors;
-        else if (r.hardwareFailure())
-            ++hw;
-        else if (r.deadlocked)
-            ++deadlocked;
-        else if (r.livelocked)
-            ++livelocked;
-        else if (r.races > 0)
-            ++racy;
-        else
-            ++clean;
-    }
-
-    void handleFailure(const Cell &cell, CellRun &run);
+    void handleFailure(int w, const Cell &cell, CellRun &run);
     void worker(int w);
 };
 
 void
-Engine::handleFailure(const Cell &cell, CellRun &run)
+Engine::handleFailure(int w, const Cell &cell, CellRun &run)
 {
     ViolationKind kind;
     if (!violationKindFromName(run.result.primary_kind, kind))
@@ -195,39 +239,43 @@ Engine::handleFailure(const Cell &cell, CellRun &run)
         journal.recordFailure(dedup, run.result.primary_kind,
                               run.result.key, wo_path, s.instructions,
                               s.orig_instructions);
-    if (first) {
-        writeFile(wo_path, s.wo_text);
-        // The evidence bundle: re-run the minimum with the flight
-        // recorder on and the failure dump pointed into the out dir.
-        SystemCfg ev = cell.systemCfg(cfg.max_events, queueKind());
-        ev.flight_recorder = true;
-        ev.dump_on_fail = stem;
-        System sys(*s.program, ev);
-        for (const auto &w : s.warm)
-            sys.warmShared(w.addr, w.procs);
-        sys.run();
-    }
+    if (!first)
+        return; // the journal's failure map already counts the repeat
 
-    std::lock_guard<std::mutex> lock(fail_mu);
-    FailureRecord &rec = failures[dedup];
-    ++rec.count;
-    if (rec.dedup.empty()) {
-        rec.dedup = dedup;
-        rec.kind = run.result.primary_kind;
-        rec.first_cell = run.result.key;
-        rec.repro_path = wo_path;
-        rec.instructions = s.instructions;
-        rec.orig_instructions = s.orig_instructions;
-        rec.reproduced = s.reproduced;
-    }
+    unique_failures.fetch_add(1, std::memory_order_relaxed);
+    writeFile(wo_path, s.wo_text);
+    // The evidence bundle: re-run the minimum with the flight
+    // recorder on and the failure dump pointed into the out dir.
+    SystemCfg ev = cell.systemCfg(cfg.max_events, queueKind());
+    ev.flight_recorder = true;
+    ev.dump_on_fail = stem;
+    System sys(*s.program, ev);
+    for (const auto &wt : s.warm)
+        sys.warmShared(wt.addr, wt.procs);
+    sys.run();
+
+    // Shrink provenance is staged on the observing worker and merged
+    // at join -- exactly one worker sees first==true per dedup key, so
+    // no lock is needed.
+    FailureRecord &rec = wstats[w].first_failures[dedup];
+    rec.dedup = dedup;
+    rec.kind = run.result.primary_kind;
+    rec.first_cell = run.result.key;
+    rec.repro_path = wo_path;
+    rec.instructions = s.instructions;
+    rec.orig_instructions = s.orig_instructions;
+    rec.reproduced = s.reproduced;
 }
 
 void
 Engine::worker(int w)
 {
+    WorkerStats &ws = wstats[w];
+    MaterializeCache cache; // worker-owned: lookups never synchronize
     Rng rng(cfg.seed * 7919 + static_cast<std::uint64_t>(w) + 1);
     while (!timeUp()) {
-        const std::uint64_t ticket = tickets.fetch_add(1);
+        const std::uint64_t ticket =
+            tickets.fetch_add(1, std::memory_order_relaxed);
         if (ticket >= cfg.cells)
             break;
         // Even tickets always advance the deterministic base stream;
@@ -240,22 +288,24 @@ Engine::worker(int w)
             (ticket & 1) &&
             (deques.popLocal(w, cell) || deques.steal(w, cell, rng));
         if (!frontier)
-            cell = fuzzer.baseCell(base_index.fetch_add(1));
+            cell = fuzzer.baseCell(
+                base_index.fetch_add(1, std::memory_order_relaxed));
 
         if (journal.done(cell.key())) {
-            ++skipped;
-            ++completed;
+            ws.skipped.fetch_add(1, std::memory_order_relaxed);
+            ws.completed.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
-        CellRun run = runCell(cell, cfg.max_events, queueKind());
+        CellRun run = runCell(cell, cfg.max_events, queueKind(), &cache);
         journal.appendCell(run.result);
-        classify(run.result);
+        ws.classify(run.result);
+        ws.lat_ms.push_back(run.result.wall_ms);
         for (Cell &m : fuzzer.observe(cell, run.result))
             deques.push(w, std::move(m));
         if (run.result.hardwareFailure() && run.program)
-            handleFailure(cell, run);
-        ++ran;
-        ++completed;
+            handleFailure(w, cell, run);
+        ws.ran.fetch_add(1, std::memory_order_relaxed);
+        ws.completed.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
@@ -278,10 +328,11 @@ runCampaign(const CampaignCfg &user_cfg)
              cfg.out_dir.c_str(), ec.message().c_str());
 
     Engine eng(cfg);
-    for (auto &k : eng.by_kind)
-        k = 0;
     if (cfg.resume)
         eng.journal.load();
+    // Size the lock-free seen set for this run's appends before any
+    // worker can touch it.
+    eng.journal.reserveKeys(static_cast<std::size_t>(cfg.cells));
     eng.journal.open(/*fresh=*/!cfg.resume);
     if (!cfg.resume) {
         Json meta = Json::object();
@@ -294,6 +345,7 @@ runCampaign(const CampaignCfg &user_cfg)
                     policyFlagName(p);
         meta.set("policies", Json(pols));
         meta.set("max_events", Json(cfg.max_events));
+        meta.set("sync_every", Json(cfg.sync_every));
         if (cfg.inject_reserve_bug)
             meta.set("inject_reserve_bug", Json(true));
         eng.journal.writeHeader(std::move(meta));
@@ -308,25 +360,30 @@ runCampaign(const CampaignCfg &user_cfg)
     std::thread reporter;
     if (cfg.progress)
         reporter = std::thread([&eng] {
-            while (!eng.done.load()) {
+            // The reporter reads only owner-written per-worker atomics
+            // and the unique-failure counter: no lock is taken, so a
+            // 200 ms print can never stall the fleet.
+            while (!eng.done.load(std::memory_order_relaxed)) {
                 const double secs = std::chrono::duration<double>(
                                         Clock::now() - eng.t0)
                                         .count();
-                const std::uint64_t c = eng.completed.load();
-                std::size_t uniq;
-                {
-                    std::lock_guard<std::mutex> lock(eng.fail_mu);
-                    uniq = eng.failures.size();
-                }
+                const std::uint64_t c =
+                    eng.sumLive(&WorkerStats::completed);
                 std::fprintf(
                     stderr,
                     "\r[campaign] %llu/%llu cells  %llu run  %llu "
-                    "resumed  %llu hw-fail (%zu unique)  %.1f cells/s ",
+                    "resumed  %llu hw-fail (%llu unique)  %.1f cells/s ",
                     static_cast<unsigned long long>(c),
                     static_cast<unsigned long long>(eng.cfg.cells),
-                    static_cast<unsigned long long>(eng.ran.load()),
-                    static_cast<unsigned long long>(eng.skipped.load()),
-                    static_cast<unsigned long long>(eng.hw.load()), uniq,
+                    static_cast<unsigned long long>(
+                        eng.sumLive(&WorkerStats::ran)),
+                    static_cast<unsigned long long>(
+                        eng.sumLive(&WorkerStats::skipped)),
+                    static_cast<unsigned long long>(
+                        eng.sumLive(&WorkerStats::hw)),
+                    static_cast<unsigned long long>(
+                        eng.unique_failures.load(
+                            std::memory_order_relaxed)),
                     secs > 0 ? static_cast<double>(c) / secs : 0.0);
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(200));
@@ -339,18 +396,32 @@ runCampaign(const CampaignCfg &user_cfg)
     eng.done = true;
     if (reporter.joinable())
         reporter.join();
+    // Drain and commit the journal before anything reads it back: once
+    // close() returns, every appended line is durable.
+    eng.journal.close();
 
     CampaignSummary sum;
-    sum.ran = eng.ran;
-    sum.skipped = eng.skipped;
-    sum.clean = eng.clean;
-    sum.racy = eng.racy;
-    sum.hw = eng.hw;
-    sum.deadlocked = eng.deadlocked;
-    sum.livelocked = eng.livelocked;
-    sum.errors = eng.errors;
-    for (int k = 0; k < num_violation_kinds; ++k)
-        sum.by_kind[k] = eng.by_kind[k];
+    std::vector<double> lat;
+    std::map<std::string, FailureRecord> provenance;
+    for (int w = 0; w < cfg.jobs; ++w) {
+        WorkerStats &ws = eng.wstats[w];
+        sum.ran += ws.ran.load(std::memory_order_relaxed);
+        sum.skipped += ws.skipped.load(std::memory_order_relaxed);
+        sum.hw += ws.hw.load(std::memory_order_relaxed);
+        sum.clean += ws.clean;
+        sum.racy += ws.racy;
+        sum.deadlocked += ws.deadlocked;
+        sum.livelocked += ws.livelocked;
+        sum.errors += ws.errors;
+        for (int k = 0; k < num_violation_kinds; ++k)
+            sum.by_kind[k] += ws.by_kind[k];
+        lat.insert(lat.end(), ws.lat_ms.begin(), ws.lat_ms.end());
+        for (auto &[dedup, rec] : ws.first_failures)
+            provenance.emplace(dedup, std::move(rec));
+    }
+    std::sort(lat.begin(), lat.end());
+    sum.lat_p50_ms = quantile(lat, 0.50);
+    sum.lat_p99_ms = quantile(lat, 0.99);
     sum.novelty = eng.fuzzer.noveltyCount();
     sum.wall_s =
         std::chrono::duration<double>(Clock::now() - eng.t0).count();
@@ -358,8 +429,8 @@ runCampaign(const CampaignCfg &user_cfg)
         sum.wall_s > 0 ? static_cast<double>(sum.ran) / sum.wall_s : 0;
 
     // Failures: the journal knows every deduplicated failure including
-    // those recorded before a resume; this run's records add the
-    // shrink provenance.
+    // those recorded before a resume; this run's staged records add
+    // the shrink provenance.
     for (const auto &[dedup, jf] : eng.journal.failures()) {
         FailureRecord rec;
         rec.dedup = dedup;
@@ -367,8 +438,8 @@ runCampaign(const CampaignCfg &user_cfg)
         rec.repro_path = jf.file;
         rec.instructions = jf.insns;
         rec.count = jf.count;
-        auto it = eng.failures.find(dedup);
-        if (it != eng.failures.end()) {
+        auto it = provenance.find(dedup);
+        if (it != provenance.end()) {
             rec.first_cell = it->second.first_cell;
             rec.orig_instructions = it->second.orig_instructions;
             rec.reproduced = it->second.reproduced;
@@ -384,11 +455,13 @@ CampaignSummary::table() const
     std::string out;
     out += strprintf(
         "campaign: %llu cells (%llu run, %llu resumed), %.2f s, "
-        "%.1f cells/s, %llu frontier discoveries\n",
+        "%.1f cells/s (cell p50 %.3f ms, p99 %.3f ms), "
+        "%llu frontier discoveries\n",
         static_cast<unsigned long long>(ran + skipped),
         static_cast<unsigned long long>(ran),
         static_cast<unsigned long long>(skipped), wall_s,
-        cells_per_sec, static_cast<unsigned long long>(novelty));
+        cells_per_sec, lat_p50_ms, lat_p99_ms,
+        static_cast<unsigned long long>(novelty));
     out += strprintf(
         "verdicts: %llu clean, %llu race, %llu hw-violation, "
         "%llu deadlock, %llu livelock, %llu error\n",
@@ -444,6 +517,8 @@ CampaignSummary::toJson() const
     j.set("novelty", Json(novelty));
     j.set("wall_s", Json(wall_s));
     j.set("cells_per_sec", Json(cells_per_sec));
+    j.set("lat_p50_ms", Json(lat_p50_ms));
+    j.set("lat_p99_ms", Json(lat_p99_ms));
     Json by = Json::object();
     for (int k = 0; k < num_violation_kinds; ++k)
         if (by_kind[k] > 0)

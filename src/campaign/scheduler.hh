@@ -19,6 +19,13 @@
  * (see shrink.hh) and deduplicated by verdict kind + shrunk-program
  * hash; the first equivalent failure writes a `.wo` reproducer plus an
  * evidence bundle under the output directory, later ones only count.
+ *
+ * The per-cell hot path carries no serialization point, so throughput
+ * scales near-linearly with --jobs: the journal group-commits from a
+ * dedicated writer thread (see journal.hh), resume lookups read an
+ * immutable snapshot, each worker owns a materialization cache and a
+ * cache-line-aligned statistics block merged at join, and failure
+ * provenance is staged per worker instead of behind a global mutex.
  */
 
 #ifndef WO_CAMPAIGN_SCHEDULER_HH
@@ -54,6 +61,14 @@ struct CampaignCfg
     bool progress = false;        //!< live progress line on stderr
     /** Run cells on the legacy heap kernel (A/B cross-checking). */
     bool legacy_queue = false;
+    /**
+     * Journal group-commit granularity: fwrite+fflush after at most
+     * this many buffered records (`--sync-every`; 1 = one flush per
+     * cell, the pre-group-commit behavior).  A partial batch is
+     * committed within `flush_interval_ms` regardless.
+     */
+    std::uint64_t sync_every = 64;
+    int flush_interval_ms = 5;
 };
 
 /** One deduplicated hardware failure, as the campaign reports it. */
@@ -85,6 +100,8 @@ struct CampaignSummary
     std::vector<FailureRecord> failures; //!< deduplicated
     double wall_s = 0;
     double cells_per_sec = 0;
+    double lat_p50_ms = 0; //!< median per-cell wall time (ran cells)
+    double lat_p99_ms = 0; //!< tail per-cell wall time
 
     /** Exit-0 condition: no hardware violation survived shrinking. */
     bool hardwareClean() const { return failures.empty(); }

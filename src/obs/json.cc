@@ -210,11 +210,16 @@ Json::dump(int indent) const
 
 namespace {
 
-/** Strict recursive-descent JSON parser over an in-memory buffer. */
+/**
+ * Strict recursive-descent JSON parser over an in-memory buffer.  The
+ * input is a string_view so callers scanning a large buffer (the
+ * campaign journal replays millions of lines) can parse each line in
+ * place without copying it out first.
+ */
 class Parser
 {
   public:
-    explicit Parser(const std::string &text) : text_(text) {}
+    explicit Parser(std::string_view text) : text_(text) {}
 
     JsonParseResult run()
     {
@@ -355,7 +360,9 @@ class Parser
                    std::isdigit(static_cast<unsigned char>(text_[pos_])))
                 ++pos_;
         }
-        const std::string lit = text_.substr(start, pos_ - start);
+        // Number literals are tiny (SSO): this copy exists only to get
+        // a NUL terminator for strto*.
+        const std::string lit(text_.substr(start, pos_ - start));
         if (integral && !negative) {
             out = Json(static_cast<std::uint64_t>(
                 std::strtoull(lit.c_str(), nullptr, 10)));
@@ -467,7 +474,7 @@ class Parser
 
     static constexpr int max_depth = 256;
 
-    const std::string &text_;
+    std::string_view text_;
     std::size_t pos_ = 0;
     int depth_ = 0;
     std::string error_;
@@ -476,7 +483,7 @@ class Parser
 } // namespace
 
 JsonParseResult
-jsonParse(const std::string &text)
+jsonParse(std::string_view text)
 {
     return Parser(text).run();
 }

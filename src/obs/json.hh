@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -136,9 +137,11 @@ struct JsonParseResult
 
 /**
  * Parse one complete JSON document (strict: no trailing garbage, no
- * comments, no trailing commas).
+ * comments, no trailing commas).  The string_view form parses in place
+ * — use it when scanning lines out of a larger buffer (e.g. a JSONL
+ * journal) to avoid a copy per line.
  */
-JsonParseResult jsonParse(const std::string &text);
+JsonParseResult jsonParse(std::string_view text);
 
 } // namespace wo
 

@@ -7,7 +7,11 @@
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -19,6 +23,7 @@
 #include "campaign/scheduler.hh"
 #include "campaign/shrink.hh"
 #include "common/random.hh"
+#include "obs/json.hh"
 #include "program/workload.hh"
 
 namespace wo {
@@ -36,6 +41,44 @@ slurp(const std::string &path)
     while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
         out.append(buf, n);
     std::fclose(f);
+    return out;
+}
+
+/** One journaled cell line plus where it ends in the file. */
+struct JournalCellLine
+{
+    std::string key;
+    std::string verdict;
+    std::size_t end; //!< byte offset just past the line's newline
+};
+
+/** The type=="cell" lines of a journal, in file order. */
+std::vector<JournalCellLine>
+journalCells(const std::string &path)
+{
+    std::vector<JournalCellLine> out;
+    const std::string text = slurp(path);
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            break;
+        const std::string_view line(text.data() + pos, eol - pos);
+        pos = eol + 1;
+        JsonParseResult p = jsonParse(line);
+        if (!p.ok || !p.value.isObject())
+            continue;
+        const Json *type = p.value.find("type");
+        if (!type || !type->isString() || type->stringValue() != "cell")
+            continue;
+        const Json *key = p.value.find("key");
+        const Json *verdict = p.value.find("verdict");
+        out.push_back({key && key->isString() ? key->stringValue() : "",
+                       verdict && verdict->isString()
+                           ? verdict->stringValue()
+                           : "",
+                       pos});
+    }
     return out;
 }
 
@@ -169,6 +212,63 @@ TEST(Fuzzer, BaseCellsMaterializeAndRun)
     }
 }
 
+// -------------------------------------------- the materialization cache
+
+TEST(MaterializeCache, LitmusCellsHitAcrossTimingAndPolicy)
+{
+    ASSERT_FALSE(litmusCorpus().empty());
+    Cell c;
+    c.source = CellSource::litmus;
+    c.spec = litmusCorpus().front().name;
+
+    MaterializeCache cache;
+    MaterializedCell a = materializeCell(c, &cache);
+    // Same program family, different timing/policy coordinates: the
+    // cache serves the parse, the run still differs.
+    Cell c2 = c;
+    c2.net_seed = 99;
+    c2.policy = OrderingPolicy::sc;
+    MaterializedCell b = materializeCell(c2, &cache);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(disassemble(*a.program), disassemble(*b.program));
+    // The cached copy is byte-identical to an uncached build.
+    MaterializedCell plain = materializeCell(c);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(disassemble(*plain.program), disassemble(*a.program));
+}
+
+TEST(MaterializeCache, RandomDrawsBypassAndErrorsAreCached)
+{
+    MaterializeCache cache;
+    // Every random draw embeds its own generator seed: caching one
+    // would replay it forever, so the cache must pass them through.
+    Cell r;
+    r.source = CellSource::drf0_rand;
+    r.drf0.seed = 5;
+    EXPECT_TRUE(materializeCell(r, &cache).ok());
+    Cell r2 = r;
+    r2.drf0.seed = 6;
+    EXPECT_TRUE(materializeCell(r2, &cache).ok());
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+
+    // A broken corpus file costs one parse attempt, not one per cell.
+    Cell bad;
+    bad.source = CellSource::file;
+    bad.spec = testing::TempDir() + "missing_corpus.wo";
+    MaterializedCell e1 = materializeCell(bad, &cache);
+    MaterializedCell e2 = materializeCell(bad, &cache);
+    EXPECT_FALSE(e1.ok());
+    EXPECT_FALSE(e2.ok());
+    EXPECT_EQ(e1.error, e2.error);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
 // --------------------------------------------------------- the journal
 
 TEST(Journal, RoundTripAndResumeState)
@@ -226,6 +326,80 @@ TEST(Journal, TruncatedTrailingLineIsIgnored)
     EXPECT_TRUE(j2.done("k1"));
     EXPECT_FALSE(j2.done("k2"));
     EXPECT_EQ(j2.doneCells(), 1u);
+}
+
+TEST(Journal, SeenSetInsertContainsAndOverflowSpill)
+{
+    SeenSet s;
+    s.reserve(100);
+    EXPECT_TRUE(s.insert(fnv1a64("a")));
+    EXPECT_FALSE(s.insert(fnv1a64("a"))); // second claim loses
+    EXPECT_TRUE(s.contains(fnv1a64("a")));
+    EXPECT_FALSE(s.contains(fnv1a64("b")));
+    EXPECT_EQ(s.size(), 1u);
+
+    // Spill far past the default table's half-load watermark: the
+    // mutexed overflow set must keep every key, and duplicates must
+    // still be rejected across the table/overflow boundary.
+    SeenSet t; // default-sized: 4096 slots, spills past 2048
+    const std::uint64_t stride = 0x9e3779b97f4a7c15ULL;
+    for (std::uint64_t i = 1; i <= 5000; ++i)
+        EXPECT_TRUE(t.insert(i * stride)) << i;
+    EXPECT_EQ(t.size(), 5000u);
+    for (std::uint64_t i = 1; i <= 5000; ++i)
+        EXPECT_TRUE(t.contains(i * stride)) << i;
+    EXPECT_FALSE(t.insert(42 * stride));
+    EXPECT_FALSE(t.insert(4999 * stride));
+}
+
+TEST(Journal, SyncEveryOneFlushesEveryRecord)
+{
+    const std::string path = testing::TempDir() + "journal_sync1.jsonl";
+    std::remove(path.c_str());
+    JournalCfg jcfg;
+    jcfg.sync_every = 1; // the pre-group-commit contract
+    Journal j(path, jcfg);
+    ASSERT_TRUE(j.open(/*fresh=*/true));
+    for (int i = 0; i < 20; ++i) {
+        CellResult r;
+        r.key = "k" + std::to_string(i);
+        r.completed = true;
+        j.appendCell(r);
+    }
+    j.close();
+    // One commit (fflush) per record, not per drained batch.
+    EXPECT_GE(j.commitBatches(), 20u);
+
+    Journal j2(path);
+    j2.load();
+    EXPECT_EQ(j2.doneCells(), 20u);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_TRUE(j2.done("k" + std::to_string(i))) << i;
+}
+
+TEST(Journal, GroupCommitIsDurableAfterClose)
+{
+    const std::string path = testing::TempDir() + "journal_group.jsonl";
+    std::remove(path.c_str());
+    JournalCfg jcfg;
+    jcfg.sync_every = 1000;      // never reach the batch threshold...
+    jcfg.flush_interval_ms = 1000; // ...and outlive the interval too
+    Journal j(path, jcfg);
+    ASSERT_TRUE(j.open(/*fresh=*/true));
+    for (int i = 0; i < 100; ++i) {
+        CellResult r;
+        r.key = "g" + std::to_string(i);
+        j.appendCell(r);
+        EXPECT_TRUE(j.done(r.key)); // done immediately, pre-durability
+    }
+    j.close(); // the final drain commits whatever is still queued
+    EXPECT_GE(j.commitBatches(), 1u);
+
+    Journal j2(path);
+    j2.load();
+    EXPECT_EQ(j2.doneCells(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(j2.done("g" + std::to_string(i))) << i;
 }
 
 // -------------------------------------------------------- the shrinker
@@ -339,6 +513,118 @@ TEST(Campaign, ResumeSkipsJournaledCells)
     EXPECT_GT(second.skipped, 0u);
 }
 
+TEST(Campaign, MidBatchTruncationResumesExactlyTheCommittedCells)
+{
+    // A crash between group commits tears the journal inside a batch.
+    // The committed prefix (the whole lines) must be skipped on
+    // --resume and the torn tail re-run.
+    CampaignCfg cfg;
+    cfg.jobs = 1; // processing order == journal order
+    cfg.cells = 24;
+    cfg.out_dir = testing::TempDir() + "camp_midbatch";
+    cfg.max_events = 200'000;
+    cfg.seed = 51;
+    cfg.sync_every = 8;
+    auto first = runCampaign(cfg);
+    ASSERT_EQ(first.ran, 24u);
+
+    const std::string jpath = cfg.out_dir + "/campaign.journal.jsonl";
+    auto lines = journalCells(jpath);
+    // close() drained the queue: every cell is durable despite batching.
+    ASSERT_EQ(lines.size(), 24u);
+
+    // Cut so the torn cell is a *base-stream* cell: the resumed run is
+    // then guaranteed to re-encounter it (frontier mutants bred by
+    // skipped parents are legitimately never re-bred).  Even tickets
+    // always draw from the base stream, so the window below has one.
+    FuzzerCfg pcfg;
+    pcfg.seed = cfg.seed;
+    Fuzzer probe(pcfg);
+    std::unordered_set<std::string> base_keys;
+    for (std::uint64_t i = 0; i < cfg.cells; ++i)
+        base_keys.insert(probe.baseCell(i).key());
+    std::size_t committed = 0;
+    for (std::size_t i = 4; i <= 11; ++i)
+        if (base_keys.count(lines[i].key))
+            committed = i;
+    ASSERT_GT(committed, 0u) << "no base cell in the cuttable window";
+
+    // Keep `committed` whole lines plus half of the next one.
+    const std::size_t line_start = lines[committed - 1].end;
+    const std::size_t line_end = lines[committed].end;
+    ASSERT_GT(line_end - line_start, 2u);
+    std::filesystem::resize_file(jpath,
+                                 line_start + (line_end - line_start) / 2);
+
+    // The journal layer resumes exactly the committed prefix.
+    std::unordered_set<std::string> committed_keys;
+    for (std::size_t i = 0; i < committed; ++i)
+        committed_keys.insert(lines[i].key);
+    {
+        Journal j(jpath);
+        j.load();
+        EXPECT_EQ(j.doneCells(), committed);
+        for (std::size_t i = 0; i < committed; ++i)
+            EXPECT_TRUE(j.done(lines[i].key)) << i;
+        for (std::size_t i = committed; i < lines.size(); ++i)
+            if (!committed_keys.count(lines[i].key)) {
+                EXPECT_FALSE(j.done(lines[i].key)) << i;
+            }
+    }
+
+    // The resumed campaign skips the committed cells within the same
+    // budget.  Every committed base cell sits in the first few base
+    // draws and a 24-ticket run draws at least 12, so each one is
+    // re-encountered -- and must be skipped, not re-run.
+    cfg.resume = true;
+    auto second = runCampaign(cfg);
+    EXPECT_EQ(second.ran + second.skipped, 24u);
+    std::size_t base_committed = 0;
+    for (std::size_t i = 0; i < committed; ++i)
+        base_committed += base_keys.count(lines[i].key) != 0;
+    EXPECT_GT(base_committed, 0u);
+    EXPECT_GE(second.skipped, base_committed);
+
+    // Committed cells were never re-journaled (exactly one line each);
+    // the torn cell was re-run and re-journaled.
+    auto after = journalCells(jpath);
+    std::unordered_map<std::string, int> times;
+    for (const auto &l : after)
+        ++times[l.key];
+    for (std::size_t i = 0; i < committed; ++i)
+        EXPECT_EQ(times[lines[i].key], 1) << lines[i].key;
+    EXPECT_GE(times[lines[committed].key], 1) << lines[committed].key;
+}
+
+TEST(Campaign, SingleWorkerRunIsAPureFunctionOfTheSeed)
+{
+    // --seed N --jobs 1 must journal the same cells with the same
+    // verdicts run over run: the materialization cache, the sharded
+    // novelty sets and the group-commit writer may not perturb the
+    // cell stream.
+    CampaignCfg cfg;
+    cfg.jobs = 1;
+    cfg.cells = 30;
+    cfg.max_events = 200'000;
+    cfg.seed = 17;
+    cfg.out_dir = testing::TempDir() + "camp_det_a";
+    auto a = runCampaign(cfg);
+    cfg.out_dir = testing::TempDir() + "camp_det_b";
+    auto b = runCampaign(cfg);
+    EXPECT_EQ(a.ran, b.ran);
+
+    auto la = journalCells(testing::TempDir() +
+                           "camp_det_a/campaign.journal.jsonl");
+    auto lb = journalCells(testing::TempDir() +
+                           "camp_det_b/campaign.journal.jsonl");
+    ASSERT_EQ(la.size(), lb.size());
+    ASSERT_GT(la.size(), 0u);
+    for (std::size_t i = 0; i < la.size(); ++i) {
+        EXPECT_EQ(la[i].key, lb[i].key) << i;
+        EXPECT_EQ(la[i].verdict, lb[i].verdict) << i;
+    }
+}
+
 TEST(Campaign, SeededFaultIsFoundDedupedAndShrunk)
 {
     // Plant a leak-shaped witness in the file corpus so the hunt is
@@ -399,6 +685,10 @@ TEST(Campaign, SummaryJsonCarriesTheVerdictCounts)
     EXPECT_NE(js.find("\"ran\""), std::string::npos);
     EXPECT_NE(js.find("\"cells_per_sec\""), std::string::npos);
     EXPECT_NE(js.find("\"failures\""), std::string::npos);
+    EXPECT_NE(js.find("\"lat_p50_ms\""), std::string::npos);
+    EXPECT_NE(js.find("\"lat_p99_ms\""), std::string::npos);
+    EXPECT_GE(sum.lat_p99_ms, sum.lat_p50_ms);
+    EXPECT_GT(sum.lat_p99_ms, 0.0);
     EXPECT_FALSE(sum.table().empty());
 }
 

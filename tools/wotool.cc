@@ -560,6 +560,14 @@ cmdCampaign(const AsmResult *, int argc, char **argv)
             return 2;
         }
     }
+    if (const char *v = opt(argc, argv, "--sync-every")) {
+        cfg.sync_every = std::strtoull(v, nullptr, 0);
+        if (cfg.sync_every == 0) {
+            std::fprintf(stderr, "--sync-every must be positive "
+                                 "(1 = flush per cell)\n");
+            return 2;
+        }
+    }
     if (const char *v = opt(argc, argv, "--policy")) {
         cfg.policies.clear();
         for (const auto &name : splitCommas(v)) {
@@ -698,7 +706,8 @@ const Command commands[] = {
      "           [--out-dir DIR] [--journal F] [--resume]\n"
      "           [--policy sc,def1,drf0,...] [--programs F1,F2,...]\n"
      "           [--seed N] [--no-shrink] [--max-events N]\n"
-     "           [--inject-reserve-bug] [--legacy-queue]\n"
+     "           [--sync-every N] [--inject-reserve-bug]\n"
+     "           [--legacy-queue]\n"
      "           (bulk verification; exit 1 iff a hardware violation\n"
      "           survived shrinking)\n"},
     {"lockset", true, wrapLockset, "  lockset <file>\n"},
