@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Overhead of the self-profiler: the same campaign workload run with
+ * sampling off and with sampling on at the default rate, interleaved
+ * A/B/A/B so drift hits both sides equally.  The observability
+ * contract is that `--profile` is cheap enough to leave on whenever a
+ * scaling question comes up: the artifact records the wall-time ratio
+ * and CI asserts it stays below 1.10x (best-of-reps, so scheduler
+ * noise on a loaded runner cannot fail the gate spuriously).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "campaign/scheduler.hh"
+#include "common/table.hh"
+#include "obs/artifact.hh"
+
+namespace wo {
+namespace {
+
+constexpr std::uint64_t cells = 600;
+constexpr int reps = 3;
+constexpr double default_hz = 97;
+
+double
+runOnce(bool profile, int rep, std::uint64_t &samples)
+{
+    CampaignCfg cfg;
+    cfg.jobs = 2;
+    cfg.cells = cells;
+    cfg.out_dir = strprintf("bench-campaign-out/prof-%s-r%d",
+                            profile ? "on" : "off", rep);
+    cfg.seed = 11;
+    cfg.max_events = 200'000;
+    cfg.shrink = false; // conforming hardware: nothing to shrink
+    cfg.profile = profile;
+    cfg.profile_hz = default_hz;
+    auto sum = runCampaign(cfg);
+    if (!sum.hardwareClean())
+        wo_panic("bench_profiler: conforming hardware reported a "
+                 "violation");
+    samples = sum.profile_samples;
+    return sum.wall_s;
+}
+
+} // namespace
+} // namespace wo
+
+int
+main()
+{
+    using namespace wo;
+
+    std::printf("== profiler overhead: %llu cells x2 workers, off vs "
+                "on at %.0f Hz, %d interleaved reps ==\n",
+                static_cast<unsigned long long>(cells), default_hz,
+                reps);
+
+    std::vector<double> off_s, on_s;
+    std::uint64_t samples = 0, ignored = 0;
+    for (int r = 0; r < reps; ++r) {
+        off_s.push_back(runOnce(false, r, ignored));
+        on_s.push_back(runOnce(true, r, samples));
+    }
+    const double off_best = *std::min_element(off_s.begin(), off_s.end());
+    const double on_best = *std::min_element(on_s.begin(), on_s.end());
+    const double ratio = off_best > 0 ? on_best / off_best : 0.0;
+
+    Table t({"mode", "best wall s", "samples"});
+    t.addRow({"profile off", strprintf("%.3f", off_best), "0"});
+    t.addRow({"profile on", strprintf("%.3f", on_best),
+              strprintf("%llu",
+                        static_cast<unsigned long long>(samples))});
+    t.print();
+    std::printf("overhead: %.3fx (CI gates this below 1.10x)\n", ratio);
+
+    Json payload = Json::object();
+    payload.set("cells", Json(cells));
+    payload.set("hz", Json(default_hz));
+    payload.set("reps", Json(std::uint64_t{reps}));
+    payload.set("off_best_s", Json(off_best));
+    payload.set("on_best_s", Json(on_best));
+    payload.set("overhead_ratio", Json(ratio));
+    payload.set("samples", Json(samples));
+    payload.set("table", tableToJson(t));
+    writeBenchArtifact("profiler_overhead", std::move(payload));
+    return 0;
+}

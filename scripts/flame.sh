@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Render a collapsed-stack profile (the folded.txt the self-profiler
+# emits under `wotool ... --profile`) as an interactive flame graph.
+#
+# Usage:  scripts/flame.sh FOLDED [OUT.svg]
+#
+# The folded format is the flamegraph.pl / speedscope interchange
+# format: one `lane;frame;...;leaf count` line per unique stack.  When
+# Brendan Gregg's flamegraph.pl is on PATH (or $FLAMEGRAPH points at
+# it) an SVG is rendered; otherwise the script explains the zero-
+# dependency alternatives instead of failing the pipeline.
+set -euo pipefail
+
+if [ $# -lt 1 ] || [ ! -f "$1" ]; then
+    echo "usage: scripts/flame.sh FOLDED [OUT.svg]" >&2
+    echo "  FOLDED is a collapsed-stack file, e.g." >&2
+    echo "  campaign-out/campaign.folded.txt from" >&2
+    echo "  'wotool campaign --profile'" >&2
+    exit 2
+fi
+
+folded="$1"
+out="${2:-${folded%.txt}.svg}"
+
+if [ ! -s "$folded" ]; then
+    echo "error: '$folded' is empty (did the profiled run finish?)" >&2
+    exit 1
+fi
+
+renderer="${FLAMEGRAPH:-}"
+if [ -z "$renderer" ]; then
+    renderer="$(command -v flamegraph.pl || true)"
+fi
+
+if [ -n "$renderer" ]; then
+    "$renderer" --title "$(basename "$folded")" \
+        --countname samples "$folded" > "$out"
+    echo "wrote $out"
+    exit 0
+fi
+
+stacks=$(wc -l < "$folded")
+echo "flamegraph.pl not found (set \$FLAMEGRAPH to point at it)."
+echo "'$folded' holds $stacks unique stacks; render it with either:"
+echo "  - https://github.com/brendangregg/FlameGraph :"
+echo "      flamegraph.pl '$folded' > '$out'"
+echo "  - https://www.speedscope.app : drag the file in (the folded"
+echo "      format is auto-detected)"
+exit 0

@@ -36,6 +36,35 @@ def load_metric(directory, fname, key):
     return float(data[key]), path
 
 
+def load_hw_threads(directory, fname):
+    """The recorded hardware concurrency, or None (older artifacts)."""
+    path = os.path.join(directory, fname)
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        data = json.load(f)
+    value = data.get("hw_threads")
+    return int(value) if value is not None else None
+
+
+def check_topology(baseline_dir, fresh_dir):
+    """Warn visibly when baseline and fresh ran on different topology.
+
+    A 1-thread baseline box against an 8-thread CI runner (or vice
+    versa) makes every throughput and scaling comparison suspect; the
+    gate still runs, but the note explains anomalous ratios.
+    """
+    for fname in sorted({fname for fname, _, _ in GATED}):
+        base_hw = load_hw_threads(baseline_dir, fname)
+        fresh_hw = load_hw_threads(fresh_dir, fname)
+        if base_hw is None or fresh_hw is None or base_hw == fresh_hw:
+            continue
+        print(f"  [topology] NOTE: {fname} baseline ran on "
+              f"{base_hw} hw threads, fresh run on {fresh_hw} -- "
+              f"throughput ratios compare different machines; treat "
+              f"regressions/improvements here with suspicion")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline", default=".",
@@ -45,6 +74,8 @@ def main():
     ap.add_argument("--tolerance", type=float, default=0.20,
                     help="allowed fractional slowdown (default 0.20)")
     args = ap.parse_args()
+
+    check_topology(args.baseline, args.fresh)
 
     failures = []
     for fname, key, name in GATED:

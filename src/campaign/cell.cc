@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.hh"
+#include "obs/timeline.hh"
 #include "program/litmus.hh"
 
 namespace wo {
@@ -255,7 +256,14 @@ runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
     CellResult &r = run.result;
     r.key = cell.key();
 
-    MaterializedCell m = materializeCell(cell, cache);
+    // Timeline spans accrue to whatever lane the calling thread owns
+    // (a campaign worker's, or none when run standalone).
+    Timeline *tl = Timeline::current();
+    MaterializedCell m;
+    {
+        Timeline::Scope mat_span(tl, SpanKind::materialize);
+        m = materializeCell(cell, cache);
+    }
     if (!m.ok()) {
         r.primary_kind = "materialize_error";
         return run;
@@ -263,6 +271,7 @@ runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
     run.program = std::move(m.program);
     run.warm = std::move(m.warm);
 
+    Timeline::Scope run_span(tl, SpanKind::run);
     const auto t0 = std::chrono::steady_clock::now();
     System sys(*run.program, cell.systemCfg(max_events, queue));
     for (const auto &w : run.warm)

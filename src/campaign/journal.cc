@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.hh"
+#include "obs/profiler.hh"
 
 namespace wo {
 
@@ -291,6 +292,10 @@ Journal::takeAllFifo()
 void
 Journal::commitBatch(Line *fifo)
 {
+    // One writer_flush span per drained batch (runs on the writer
+    // thread; Timeline::current() is the journal-writer lane or null).
+    Timeline::Scope flush_span(Timeline::current(),
+                               SpanKind::writer_flush);
     std::uint64_t since_flush = 0;
     std::uint64_t drained = 0;
     while (fifo) {
@@ -315,6 +320,13 @@ Journal::commitBatch(Line *fifo)
 void
 Journal::writerLoop()
 {
+    // The writer is an engine thread: it registers for self-profiling
+    // and owns the campaign's "journal-writer" timeline lane.
+    Profiler::ThreadGuard prof_guard("journal-writer");
+    Timeline *tl = cfg_.timeline;
+    Timeline::setCurrent(tl);
+    if (tl)
+        tl->markStart();
     const auto interval =
         std::chrono::milliseconds(cfg_.flush_interval_ms > 0
                                       ? cfg_.flush_interval_ms
@@ -329,6 +341,9 @@ Journal::writerLoop()
             // close() happens after the fleet joined: one final drain
             // catches anything pushed before the closing flag.
             commitBatch(takeAllFifo());
+            if (tl)
+                tl->markEnd();
+            Timeline::setCurrent(nullptr);
             return;
         }
         std::unique_lock<std::mutex> lock(wake_mu_);
@@ -345,6 +360,10 @@ Journal::appendLine(const Json &j)
 {
     if (!writer_.joinable())
         return; // not open: drop, same as the pre-group-commit journal
+    // journal_push accounts the producer side (format + enqueue) on
+    // whichever lane the calling thread owns.
+    Timeline::Scope push_span(Timeline::current(),
+                              SpanKind::journal_push);
     Line *n = new Line;
     n->text = j.dump();
     n->text += '\n';

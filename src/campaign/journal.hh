@@ -43,6 +43,7 @@
 
 #include "campaign/cell.hh"
 #include "obs/json.hh"
+#include "obs/timeline.hh"
 
 namespace wo {
 
@@ -69,6 +70,14 @@ struct JournalCfg
      * produces them slowly.
      */
     int flush_interval_ms = 5;
+    /**
+     * Span timeline for the writer thread (the campaign's
+     * "journal-writer" lane): the writer installs it as the thread's
+     * current timeline and accounts every batch commit as a
+     * writer_flush span.  Null = no accounting (standalone journals,
+     * unit tests).  Must outlive the journal.
+     */
+    Timeline *timeline = nullptr;
 };
 
 /**

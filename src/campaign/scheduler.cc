@@ -15,6 +15,7 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "obs/artifact.hh"
+#include "obs/profiler.hh"
 
 namespace wo {
 
@@ -162,15 +163,29 @@ struct Engine
         : cfg(c),
           fuzzer(FuzzerCfg{c.seed, c.policies, c.program_files,
                            c.inject_reserve_bug}),
+          lanes(new Timeline[static_cast<std::size_t>(c.jobs) + 1]),
           journal(c.journal_path,
-                  JournalCfg{c.sync_every, c.flush_interval_ms}),
+                  JournalCfg{c.sync_every, c.flush_interval_ms,
+                             &lanes[c.jobs]}),
           deques(c.jobs),
           wstats(new WorkerStats[static_cast<std::size_t>(c.jobs)])
     {
+        // One shared epoch so every lane lines up in the trace.  Raw
+        // span events are kept only under --profile; the aggregates
+        // behind the summary decomposition are always on.
+        const Timeline::Clock::time_point epoch =
+            Timeline::Clock::now();
+        for (int w = 0; w < c.jobs; ++w)
+            lanes[w].configure(strprintf("worker%d", w), epoch,
+                               c.profile);
+        lanes[c.jobs].configure("journal-writer", epoch, c.profile);
     }
 
     const CampaignCfg &cfg;
     Fuzzer fuzzer;
+    // jobs worker lanes + the journal-writer lane (declared before the
+    // journal, whose writer thread holds a pointer into it).
+    std::unique_ptr<Timeline[]> lanes;
     Journal journal;
     StealDeques deques;
     std::unique_ptr<WorkerStats[]> wstats;
@@ -271,9 +286,20 @@ void
 Engine::worker(int w)
 {
     WorkerStats &ws = wstats[w];
+    // This thread owns lane w: spans opened anywhere below it (cell
+    // materialize/run, journal pushes, shrinking) accrue here, and the
+    // self-profiler samples it under the same lane name.
+    Timeline &tl = lanes[w];
+    Timeline::setCurrent(&tl);
+    tl.markStart();
+    Profiler::ThreadGuard prof_guard(tl.lane());
     MaterializeCache cache; // worker-owned: lookups never synchronize
     Rng rng(cfg.seed * 7919 + static_cast<std::uint64_t>(w) + 1);
     while (!timeUp()) {
+        // idle covers everything between finishing one cell and
+        // starting the next: the ticket, deque pop/steal, the resume
+        // check and the skip path.
+        Timeline::Scope idle_span(&tl, SpanKind::idle);
         const std::uint64_t ticket =
             tickets.fetch_add(1, std::memory_order_relaxed);
         if (ticket >= cfg.cells)
@@ -296,17 +322,22 @@ Engine::worker(int w)
             ws.completed.fetch_add(1, std::memory_order_relaxed);
             continue;
         }
+        idle_span.close();
         CellRun run = runCell(cell, cfg.max_events, queueKind(), &cache);
         journal.appendCell(run.result);
         ws.classify(run.result);
         ws.lat_ms.push_back(run.result.wall_ms);
         for (Cell &m : fuzzer.observe(cell, run.result))
             deques.push(w, std::move(m));
-        if (run.result.hardwareFailure() && run.program)
+        if (run.result.hardwareFailure() && run.program) {
+            Timeline::Scope shrink_span(&tl, SpanKind::shrink);
             handleFailure(w, cell, run);
+        }
         ws.ran.fetch_add(1, std::memory_order_relaxed);
         ws.completed.fetch_add(1, std::memory_order_relaxed);
     }
+    tl.markEnd();
+    Timeline::setCurrent(nullptr);
 }
 
 } // namespace
@@ -351,6 +382,21 @@ runCampaign(const CampaignCfg &user_cfg)
         eng.journal.writeHeader(std::move(meta));
     }
 
+    // Self-profiling: the fleet threads register themselves (worker(),
+    // writerLoop()); the coordinating thread registers here so the
+    // folded output also shows where the join/report time goes.
+    Profiler::ThreadGuard prof_guard("campaign-main");
+    std::unique_ptr<Profiler> prof;
+    if (cfg.profile) {
+        ProfilerCfg pcfg;
+        pcfg.hz = cfg.profile_hz;
+        prof = std::make_unique<Profiler>(pcfg);
+        if (!prof->start()) {
+            warn("profiler: another instance is active; sampling off");
+            prof.reset();
+        }
+    }
+
     eng.t0 = Clock::now();
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(cfg.jobs));
@@ -369,10 +415,27 @@ runCampaign(const CampaignCfg &user_cfg)
                                         .count();
                 const std::uint64_t c =
                     eng.sumLive(&WorkerStats::completed);
+                // Live idle% per worker: one relaxed read of the
+                // owner-written idle total against the lane's own
+                // elapsed clock.  A starving fleet shows up here
+                // mid-run, not in the post-mortem.
+                std::string idle = " idle%[";
+                for (int w = 0; w < eng.cfg.jobs; ++w) {
+                    const std::uint64_t el =
+                        eng.lanes[w].liveElapsedNs();
+                    const std::uint64_t id =
+                        eng.lanes[w].liveNs(SpanKind::idle);
+                    idle += strprintf(
+                        "%s%.0f", w ? " " : "",
+                        el > 0 ? 100.0 * static_cast<double>(id) /
+                                     static_cast<double>(el)
+                               : 0.0);
+                }
+                idle += "]";
                 std::fprintf(
                     stderr,
                     "\r[campaign] %llu/%llu cells  %llu run  %llu "
-                    "resumed  %llu hw-fail (%llu unique)  %.1f cells/s ",
+                    "resumed  %llu hw-fail (%llu unique)  %.1f cells/s%s ",
                     static_cast<unsigned long long>(c),
                     static_cast<unsigned long long>(eng.cfg.cells),
                     static_cast<unsigned long long>(
@@ -384,7 +447,8 @@ runCampaign(const CampaignCfg &user_cfg)
                     static_cast<unsigned long long>(
                         eng.unique_failures.load(
                             std::memory_order_relaxed)),
-                    secs > 0 ? static_cast<double>(c) / secs : 0.0);
+                    secs > 0 ? static_cast<double>(c) / secs : 0.0,
+                    idle.c_str());
                 std::this_thread::sleep_for(
                     std::chrono::milliseconds(200));
             }
@@ -427,6 +491,39 @@ runCampaign(const CampaignCfg &user_cfg)
         std::chrono::duration<double>(Clock::now() - eng.t0).count();
     sum.cells_per_sec =
         sum.wall_s > 0 ? static_cast<double>(sum.ran) / sum.wall_s : 0;
+
+    // Per-lane decomposition: the jobs workers plus the journal
+    // writer, each thread's wall clock split by span kind.  This is
+    // the campaign explaining its own scaling curve.
+    for (int i = 0; i <= cfg.jobs; ++i) {
+        const Timeline &tl = eng.lanes[i];
+        CampaignSummary::LaneSummary ls;
+        ls.lane = tl.lane();
+        ls.wall_ms = tl.wallMs();
+        for (int k = 0; k < num_span_kinds; ++k) {
+            const SpanAgg a = tl.agg(static_cast<SpanKind>(k));
+            ls.span_ms[k] = a.total_ms;
+            ls.span_count[k] = a.count;
+            ls.span_max_ms[k] = a.max_ms;
+        }
+        sum.lanes.push_back(std::move(ls));
+    }
+
+    if (prof) {
+        prof->stop();
+        sum.profile_samples = prof->samples();
+        sum.profile_dropped = prof->dropped();
+        sum.profiler_json = prof->toJson();
+        sum.folded_path = cfg.profile_out.empty()
+                              ? cfg.out_dir + "/campaign.folded.txt"
+                              : cfg.profile_out;
+        writeFile(sum.folded_path, prof->folded());
+        std::vector<const Timeline *> lane_ptrs;
+        for (int i = 0; i <= cfg.jobs; ++i)
+            lane_ptrs.push_back(&eng.lanes[i]);
+        sum.trace_path = cfg.out_dir + "/campaign.trace.json";
+        writeFile(sum.trace_path, timelinesChromeJson(lane_ptrs));
+    }
 
     // Failures: the journal knows every deduplicated failure including
     // those recorded before a resume; this run's staged records add
@@ -471,6 +568,27 @@ CampaignSummary::table() const
         static_cast<unsigned long long>(deadlocked),
         static_cast<unsigned long long>(livelocked),
         static_cast<unsigned long long>(errors));
+    for (const LaneSummary &l : lanes) {
+        if (l.wall_ms <= 0)
+            continue;
+        out += strprintf("lane %-14s %8.1f ms:", l.lane.c_str(),
+                         l.wall_ms);
+        for (int k = 0; k < num_span_kinds; ++k) {
+            if (l.span_count[k] == 0)
+                continue;
+            out += strprintf(
+                " %s %.0f%%",
+                spanKindName(static_cast<SpanKind>(k)),
+                100.0 * l.span_ms[k] / l.wall_ms);
+        }
+        out += "\n";
+    }
+    if (!folded_path.empty())
+        out += strprintf(
+            "profile: %llu samples (%llu dropped) -> %s, trace %s\n",
+            static_cast<unsigned long long>(profile_samples),
+            static_cast<unsigned long long>(profile_dropped),
+            folded_path.c_str(), trace_path.c_str());
     bool any_kind = false;
     for (int k = 0; k < num_violation_kinds; ++k)
         any_kind = any_kind || by_kind[k] > 0;
@@ -525,6 +643,31 @@ CampaignSummary::toJson() const
             by.set(violationKindName(static_cast<ViolationKind>(k)),
                    Json(by_kind[k]));
     j.set("by_kind", std::move(by));
+    Json lanes_j = Json::array();
+    for (const LaneSummary &l : lanes) {
+        Json lj = Json::object();
+        lj.set("lane", Json(l.lane));
+        lj.set("wall_ms", Json(l.wall_ms));
+        Json spans = Json::object();
+        for (int k = 0; k < num_span_kinds; ++k) {
+            if (l.span_count[k] == 0)
+                continue;
+            Json s = Json::object();
+            s.set("ms", Json(l.span_ms[k]));
+            s.set("count", Json(l.span_count[k]));
+            s.set("max_ms", Json(l.span_max_ms[k]));
+            spans.set(spanKindName(static_cast<SpanKind>(k)),
+                      std::move(s));
+        }
+        lj.set("spans", std::move(spans));
+        lanes_j.push(std::move(lj));
+    }
+    j.set("lanes", std::move(lanes_j));
+    if (!profiler_json.isNull()) {
+        j.set("profiler", profiler_json);
+        j.set("folded", Json(folded_path));
+        j.set("trace", Json(trace_path));
+    }
     Json fails = Json::array();
     for (const FailureRecord &f : failures) {
         Json rec = Json::object();

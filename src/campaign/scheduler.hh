@@ -37,6 +37,7 @@
 #include "campaign/cell.hh"
 #include "campaign/fuzzer.hh"
 #include "obs/json.hh"
+#include "obs/timeline.hh"
 
 namespace wo {
 
@@ -69,6 +70,19 @@ struct CampaignCfg
      */
     std::uint64_t sync_every = 64;
     int flush_interval_ms = 5;
+    /**
+     * Self-profile the fleet (`--profile`): sample every engine thread
+     * at profile_hz, write the collapsed stacks and the per-lane
+     * Chrome trace under out_dir, and mount the top-N tables in the
+     * summary JSON.  Span *aggregates* (the per-lane decomposition in
+     * the summary and the live idle%) are always on; --profile adds
+     * the sampled stacks and the raw span events.
+     */
+    bool profile = false;
+    /** Self-profiler sampling rate, in samples per second. */
+    double profile_hz = 97;
+    /** Folded-stack output path; default <out_dir>/campaign.folded.txt. */
+    std::string profile_out;
 };
 
 /** One deduplicated hardware failure, as the campaign reports it. */
@@ -102,6 +116,29 @@ struct CampaignSummary
     double cells_per_sec = 0;
     double lat_p50_ms = 0; //!< median per-cell wall time (ran cells)
     double lat_p99_ms = 0; //!< tail per-cell wall time
+
+    /**
+     * One engine thread's span decomposition: where its wall clock
+     * went, by span kind (see obs/timeline.hh).  Lanes are the jobs
+     * workers in order plus the journal writer; always populated, so
+     * every campaign explains its own scaling.
+     */
+    struct LaneSummary
+    {
+        std::string lane;      //!< "worker<i>" or "journal-writer"
+        double wall_ms = 0;    //!< markStart..markEnd of the thread loop
+        double span_ms[num_span_kinds] = {};
+        std::uint64_t span_count[num_span_kinds] = {};
+        double span_max_ms[num_span_kinds] = {};
+    };
+    std::vector<LaneSummary> lanes;
+
+    // Self-profiler results (zero / empty unless cfg.profile).
+    std::uint64_t profile_samples = 0;
+    std::uint64_t profile_dropped = 0;
+    std::string folded_path;  //!< collapsed stacks written here
+    std::string trace_path;   //!< per-lane Chrome trace written here
+    Json profiler_json;       //!< Profiler::toJson(); null when off
 
     /** Exit-0 condition: no hardware violation survived shrinking. */
     bool hardwareClean() const { return failures.empty(); }

@@ -1,6 +1,7 @@
 #include "artifact.hh"
 
 #include <cstdio>
+#include <thread>
 
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -44,6 +45,12 @@ writeBenchArtifact(const std::string &name, Json payload)
     }
     Json out = Json::object();
     out.set("bench", name);
+    // Every artifact records the machine's hardware concurrency:
+    // throughput and scaling numbers are meaningless to compare across
+    // commits without knowing whether the boxes matched
+    // (scripts/perf_gate.py flags a baseline/fresh topology mismatch).
+    out.set("hw_threads",
+            Json(std::uint64_t{std::thread::hardware_concurrency()}));
     for (const auto &m : payload.members())
         out.set(m.first, m.second);
     const std::string path = "BENCH_" + name + ".json";

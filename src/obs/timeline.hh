@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Per-thread campaign timelines: where did each worker's wall clock go?
+ *
+ * A Timeline is owned by exactly one engine thread (a campaign worker
+ * or the journal writer) and records *spans* -- host-time intervals
+ * classified by what the thread was doing (waiting for work, building
+ * a program, simulating, shrinking, pushing journal lines, flushing
+ * batches).  Three views come out of the same hooks:
+ *
+ *  1. Aggregates per span kind (total time, count, max) merged into
+ *     CampaignSummary at join, so a scaling regression decomposes into
+ *     wait-for-work vs journal backpressure vs cell runtime instead of
+ *     a bare p99.
+ *  2. A live owner-written idle counter (relaxed atomic) the progress
+ *     reporter reads mid-run -- a stalled fleet is visible *before*
+ *     the campaign ends.
+ *  3. With event recording on (`--profile`), the raw span list, which
+ *     timelinesChromeJson() renders as one Chrome-trace lane per
+ *     thread -- the same Perfetto-loadable format the simulator's own
+ *     trace sink uses (docs/OBSERVABILITY.md).
+ *
+ * The instrumented code never references a concrete Timeline: spans
+ * open against Timeline::current(), a thread-local pointer each engine
+ * thread installs at startup, and every hook is a no-op when it is
+ * null.  So cell.cc and journal.cc carry hooks without knowing whether
+ * a campaign, a test, or nothing at all is listening.
+ */
+
+#ifndef WO_OBS_TIMELINE_HH
+#define WO_OBS_TIMELINE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace wo {
+
+/** What an engine thread was doing during a span. */
+enum class SpanKind : std::uint8_t
+{
+    idle,         //!< acquiring work: tickets, deque pop, stealing, skips
+    materialize,  //!< building the cell's program (parse/factory/random)
+    run,          //!< the timed simulation itself
+    shrink,       //!< ddmin shrinking + evidence bundle of a failure
+    journal_push, //!< formatting and enqueueing a journal line
+    writer_flush, //!< journal writer: fwrite+fflush of a commit batch
+};
+
+/** Number of SpanKind values (for iteration). */
+inline constexpr int num_span_kinds = 6;
+
+/** Stable printable span-kind name (used as JSON keys / lane labels). */
+const char *spanKindName(SpanKind k);
+
+/** One recorded span (microseconds since the timeline epoch). */
+struct SpanEvent
+{
+    SpanKind kind;
+    std::uint64_t t0_us;
+    std::uint64_t t1_us;
+};
+
+/** Aggregate of one span kind on one timeline. */
+struct SpanAgg
+{
+    double total_ms = 0;
+    std::uint64_t count = 0;
+    double max_ms = 0;
+};
+
+/**
+ * One engine thread's span timeline.  Owner-written; the only
+ * cross-thread reads are the relaxed atomic span totals (live progress)
+ * -- everything else is read after the owning thread joined.
+ * Cache-line aligned so per-worker arrays never share a line.
+ */
+class alignas(64) Timeline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /**
+     * Name the lane and set the shared epoch (one epoch per campaign,
+     * so lanes line up in the trace).  @p record_events keeps the raw
+     * span list for the Chrome trace; aggregates are always on.
+     * Call before the owning thread starts.
+     */
+    void configure(std::string lane, Clock::time_point epoch,
+                   bool record_events);
+
+    const std::string &lane() const { return lane_; }
+
+    /** Mark the owning thread's loop entry (starts the wall clock). */
+    void markStart();
+
+    /** Mark the owning thread's loop exit (stops the wall clock). */
+    void markEnd();
+
+    /** Wall time between markStart() and markEnd(), in ms. */
+    double wallMs() const;
+
+    /** Record one closed span.  Owner thread only. */
+    void add(SpanKind k, Clock::time_point t0, Clock::time_point t1);
+
+    /** Live total of @p k in ns (relaxed; any thread may read). */
+    std::uint64_t liveNs(SpanKind k) const
+    {
+        return total_ns_[static_cast<int>(k)].load(
+            std::memory_order_relaxed);
+    }
+
+    /**
+     * Live ns since markStart() (relaxed; any thread).  0 before the
+     * owner marked its start.
+     */
+    std::uint64_t liveElapsedNs() const;
+
+    /** Aggregate of @p k (read after the owner joined). */
+    SpanAgg agg(SpanKind k) const;
+
+    /** Sum of all span aggregates, in ms. */
+    double spanSumMs() const;
+
+    /** Raw spans (empty unless record_events was set). */
+    const std::vector<SpanEvent> &events() const { return events_; }
+
+    /**
+     * The owning thread's current timeline, or nullptr.  Installed by
+     * the engine thread itself; every span hook checks it, so
+     * instrumented code costs one thread-local load when no campaign
+     * is listening.
+     */
+    static Timeline *current();
+    static void setCurrent(Timeline *tl);
+
+    /**
+     * RAII span: opens @p k on @p tl at construction, closes at
+     * destruction.  A null @p tl makes both ends no-ops.
+     */
+    class Scope
+    {
+      public:
+        Scope(Timeline *tl, SpanKind k) : tl_(tl), kind_(k)
+        {
+            if (tl_)
+                t0_ = Clock::now();
+        }
+        ~Scope() { close(); }
+
+        /** Close early (idempotent). */
+        void close()
+        {
+            if (!tl_)
+                return;
+            tl_->add(kind_, t0_, Clock::now());
+            tl_ = nullptr;
+        }
+
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        Timeline *tl_;
+        SpanKind kind_;
+        Clock::time_point t0_;
+    };
+
+  private:
+    std::string lane_;
+    Clock::time_point epoch_{};
+    bool record_events_ = false;
+
+    std::atomic<std::uint64_t> total_ns_[num_span_kinds] = {};
+    std::uint64_t count_[num_span_kinds] = {};
+    std::uint64_t max_ns_[num_span_kinds] = {};
+    std::atomic<std::uint64_t> start_ns_{0}; //!< vs epoch; 0 = not started
+    std::atomic<std::uint64_t> end_ns_{0};
+    std::vector<SpanEvent> events_;
+};
+
+/**
+ * Render @p lanes as Chrome trace-event JSON: one lane (tid) per
+ * timeline in order, named by `M` thread_name metadata, one complete
+ * (`X`) event per recorded span.  Loads in Perfetto next to the
+ * simulator's own traces; timestamps are microseconds of real host
+ * time since the shared epoch.
+ */
+std::string timelinesChromeJson(const std::vector<const Timeline *> &lanes);
+
+} // namespace wo
+
+#endif // WO_OBS_TIMELINE_HH

@@ -4,6 +4,7 @@
 #include "obs/artifact.hh"
 #include "obs/metrics.hh"
 #include "obs/monitor.hh"
+#include "obs/profiler.hh"
 #include "obs/recorder.hh"
 #include "obs/sampler.hh"
 
@@ -170,6 +171,22 @@ System::dumpEvidence(const char *why)
 SystemResult
 System::run()
 {
+    // Self-profiling covers exactly the simulated run: the calling
+    // thread registers as the "sim" lane and the pacer samples it for
+    // the duration of the event loop.
+    std::unique_ptr<Profiler::ThreadGuard> prof_guard;
+    std::unique_ptr<Profiler> prof;
+    if (cfg_.profile) {
+        prof_guard = std::make_unique<Profiler::ThreadGuard>("sim");
+        ProfilerCfg pcfg;
+        pcfg.hz = cfg_.profile_hz;
+        prof = std::make_unique<Profiler>(pcfg);
+        if (!prof->start()) {
+            warn("profiler: another instance is active; sampling off");
+            prof.reset();
+        }
+    }
+
     for (auto &cpu : cpus_)
         cpu->boot();
     if (sampler_)
@@ -258,6 +275,14 @@ System::run()
                                     cpu->regs().end());
     r.outcome.memory = finalMemory();
 
+    // Stop sampling before result assembly so the profile describes the
+    // simulation, not the JSON rendering below it.
+    if (prof) {
+        prof->stop();
+        if (!cfg_.profile_out.empty())
+            writeFile(cfg_.profile_out, prof->folded());
+    }
+
     if (!cfg_.collect_stats)
         return r;
 
@@ -314,6 +339,8 @@ System::run()
     if (sampler_)
         reg.set("sampler.samples",
                 Json(std::uint64_t{sampler_->sampleCount()}));
+    if (prof)
+        reg.set("profiler", prof->toJson());
     r.stats_json = reg.dump(1);
     return r;
 }

@@ -54,6 +54,19 @@ struct SystemCfg
     /** Period of the time-series sampler, in ticks; 0 = off. */
     Tick sample_interval = 0;
     /**
+     * Run the sampling self-profiler (src/obs/profiler.hh) for the
+     * duration of the run: the calling thread is registered and
+     * sampled at profile_hz, the folded stacks land in profile_out
+     * (when non-empty) and the top-N tables mount under "profiler" in
+     * the metrics tree.  Campaign fleets profile at the campaign
+     * level instead (CampaignCfg::profile), so cells leave this off.
+     */
+    bool profile = false;
+    /** Self-profiler sampling rate, in samples per second. */
+    double profile_hz = 97;
+    /** Collapsed-stack output path; empty = keep in-memory only. */
+    std::string profile_out;
+    /**
      * Assemble the full result: execution copy, per-op timings, the
      * stats text dump, the stats_json metrics tree and the rendered
      * monitor report.  Campaign cells turn this off -- they only read

@@ -692,5 +692,136 @@ TEST(Campaign, SummaryJsonCarriesTheVerdictCounts)
     EXPECT_FALSE(sum.table().empty());
 }
 
+TEST(CampaignTimeline, LanesDecomposeEachWorkersWallClock)
+{
+    CampaignCfg cfg;
+    cfg.jobs = 2;
+    cfg.cells = 40;
+    cfg.out_dir = testing::TempDir() + "camp_lanes";
+    cfg.max_events = 200'000;
+    cfg.seed = 11;
+    auto sum = runCampaign(cfg);
+    ASSERT_EQ(sum.ran, 40u);
+
+    // Lanes are stable: the jobs workers in order, then the writer.
+    ASSERT_EQ(sum.lanes.size(), 3u);
+    EXPECT_EQ(sum.lanes[0].lane, "worker0");
+    EXPECT_EQ(sum.lanes[1].lane, "worker1");
+    EXPECT_EQ(sum.lanes[2].lane, "journal-writer");
+
+    const int run_k = static_cast<int>(SpanKind::run);
+    const int flush_k = static_cast<int>(SpanKind::writer_flush);
+    std::uint64_t run_count = 0;
+    for (int w = 0; w < 2; ++w) {
+        const auto &l = sum.lanes[static_cast<std::size_t>(w)];
+        ASSERT_GT(l.wall_ms, 0.0) << l.lane;
+        double span_sum = 0;
+        for (int k = 0; k < num_span_kinds; ++k)
+            span_sum += l.span_ms[k];
+        // The spans tile the worker's loop: their sum explains the
+        // thread's wall clock.  The in-tree bound is loose (a loaded
+        // CI box can preempt a worker between spans); on an idle box
+        // the decomposition lands within a few percent.
+        EXPECT_GT(span_sum, 0.5 * l.wall_ms) << l.lane;
+        EXPECT_LT(span_sum, 1.1 * l.wall_ms) << l.lane;
+        EXPECT_GT(l.span_ms[run_k], 0.0) << l.lane;
+        EXPECT_GE(l.span_max_ms[run_k], 0.0) << l.lane;
+        run_count += l.span_count[run_k];
+    }
+    // Every ran cell opened exactly one run span on some worker.
+    EXPECT_EQ(run_count, sum.ran);
+    // The writer lane flushed at least one batch and did so on its own
+    // lane, not a worker's.
+    EXPECT_GT(sum.lanes[2].span_count[flush_k], 0u);
+    EXPECT_EQ(sum.lanes[0].span_count[flush_k], 0u);
+    EXPECT_EQ(sum.lanes[1].span_count[flush_k], 0u);
+
+    // Summary JSON mounts the decomposition.
+    const std::string js = sum.toJson().dump();
+    EXPECT_NE(js.find("\"lanes\""), std::string::npos);
+    EXPECT_NE(js.find("\"journal-writer\""), std::string::npos);
+
+    // Without --profile there is no sampled profile and no trace file.
+    EXPECT_EQ(sum.profile_samples, 0u);
+    EXPECT_TRUE(sum.folded_path.empty());
+    EXPECT_FALSE(
+        std::filesystem::exists(cfg.out_dir + "/campaign.trace.json"));
+}
+
+TEST(CampaignTimeline, ProfileEmitsFoldedStacksAndOneTraceLanePerThread)
+{
+    CampaignCfg cfg;
+    cfg.jobs = 2;
+    cfg.cells = 60;
+    cfg.out_dir = testing::TempDir() + "camp_profile";
+    cfg.max_events = 200'000;
+    cfg.seed = 11;
+    cfg.profile = true;
+    cfg.profile_hz = 500; // short fleet: sample densely
+    auto sum = runCampaign(cfg);
+    ASSERT_EQ(sum.ran, 60u);
+
+    // The folded artifact exists, is non-empty, and every line is
+    // `lane;frames... count`.
+    ASSERT_EQ(sum.folded_path, cfg.out_dir + "/campaign.folded.txt");
+    const std::string folded = slurp(sum.folded_path);
+    ASSERT_FALSE(folded.empty());
+    EXPECT_GT(sum.profile_samples, 0u);
+    for (std::size_t pos = 0; pos < folded.size();) {
+        const std::size_t eol = folded.find('\n', pos);
+        ASSERT_NE(eol, std::string::npos);
+        const std::string_view line(folded.data() + pos, eol - pos);
+        EXPECT_NE(line.find(';'), std::string_view::npos) << line;
+        EXPECT_NE(line.rfind(' '), std::string_view::npos) << line;
+        pos = eol + 1;
+    }
+
+    // The Chrome trace has one named lane per engine thread.
+    ASSERT_EQ(sum.trace_path, cfg.out_dir + "/campaign.trace.json");
+    JsonParseResult p = jsonParse(slurp(sum.trace_path));
+    ASSERT_TRUE(p.ok) << p.error;
+    const Json *events = p.value.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    std::vector<std::string> lane_names;
+    std::uint64_t x_events = 0;
+    for (const Json &e : events->items()) {
+        if (e.find("ph")->stringValue() == "M")
+            lane_names.push_back(
+                e.find("args")->find("name")->stringValue());
+        else if (e.find("ph")->stringValue() == "X")
+            ++x_events;
+    }
+    ASSERT_EQ(lane_names.size(), 3u);
+    EXPECT_EQ(lane_names[0], "worker0");
+    EXPECT_EQ(lane_names[1], "worker1");
+    EXPECT_EQ(lane_names[2], "journal-writer");
+    EXPECT_GT(x_events, 0u);
+
+    // The summary JSON carries the profiler block.
+    const std::string js = sum.toJson().dump();
+    EXPECT_NE(js.find("\"profiler\""), std::string::npos);
+    EXPECT_NE(js.find("\"folded\""), std::string::npos);
+}
+
+TEST(CampaignTimeline, ProfiledRunMatchesUnprofiledVerdicts)
+{
+    // --profile must observe, not perturb: same seed, same cells, same
+    // verdict counts with sampling on and off.
+    CampaignCfg cfg;
+    cfg.jobs = 1;
+    cfg.cells = 20;
+    cfg.max_events = 200'000;
+    cfg.seed = 17;
+    cfg.out_dir = testing::TempDir() + "camp_prof_a";
+    auto plain = runCampaign(cfg);
+    cfg.profile = true;
+    cfg.out_dir = testing::TempDir() + "camp_prof_b";
+    auto profiled = runCampaign(cfg);
+    EXPECT_EQ(plain.ran, profiled.ran);
+    EXPECT_EQ(plain.clean, profiled.clean);
+    EXPECT_EQ(plain.racy, profiled.racy);
+    EXPECT_EQ(plain.hw, profiled.hw);
+}
+
 } // namespace
 } // namespace wo

@@ -286,6 +286,21 @@ parseRunCfg(int argc, char **argv, SystemCfg &cfg)
         cfg.sample_interval = std::strtoull(v, nullptr, 0);
     if (const char *v = opt(argc, argv, "--dump-on-fail"))
         cfg.dump_on_fail = v;
+    cfg.profile = flag(argc, argv, "--profile");
+    if (const char *v = opt(argc, argv, "--profile-hz")) {
+        cfg.profile = true;
+        cfg.profile_hz = std::strtod(v, nullptr);
+        if (!(cfg.profile_hz > 0)) {
+            std::fprintf(stderr, "--profile-hz must be positive\n");
+            return false;
+        }
+    }
+    if (const char *v = opt(argc, argv, "--profile-out")) {
+        cfg.profile = true;
+        cfg.profile_out = v;
+    } else if (cfg.profile) {
+        cfg.profile_out = "profile.folded.txt";
+    }
     if (const char *v = opt(argc, argv, "--max-events")) {
         cfg.max_events = std::strtoull(v, nullptr, 0);
         if (cfg.max_events == 0) {
@@ -387,6 +402,9 @@ cmdRun(const AsmResult &a, int argc, char **argv)
         if (int rc = emitFile(stats_json, r.stats_json + "\n",
                               "metrics JSON"))
             return rc;
+    if (cfg.profile && !cfg.profile_out.empty())
+        std::printf("wrote profile (folded stacks) to %s\n",
+                    cfg.profile_out.c_str());
     if (int rc = emitRunArtifacts(r, argc, argv))
         return rc;
     // A run fails when it never finished, when it produced a
@@ -420,6 +438,9 @@ cmdMonitor(const AsmResult &a, int argc, char **argv)
                 static_cast<unsigned long long>(r.finish_tick));
     std::printf("outcome: %s\n", r.outcome.toString().c_str());
     std::fputs(r.monitor_report.c_str(), stdout);
+    if (cfg.profile && !cfg.profile_out.empty())
+        std::printf("wrote profile (folded stacks) to %s\n",
+                    cfg.profile_out.c_str());
     if (int rc = emitRunArtifacts(r, argc, argv))
         return rc;
     // Races blame software (Definition 2 voids the contract), so a
@@ -590,6 +611,19 @@ cmdCampaign(const AsmResult *, int argc, char **argv)
     cfg.resume = flag(argc, argv, "--resume");
     cfg.inject_reserve_bug = flag(argc, argv, "--inject-reserve-bug");
     cfg.legacy_queue = flag(argc, argv, "--legacy-queue");
+    cfg.profile = flag(argc, argv, "--profile");
+    if (const char *v = opt(argc, argv, "--profile-hz")) {
+        cfg.profile = true;
+        cfg.profile_hz = std::strtod(v, nullptr);
+        if (!(cfg.profile_hz > 0)) {
+            std::fprintf(stderr, "--profile-hz must be positive\n");
+            return 2;
+        }
+    }
+    if (const char *v = opt(argc, argv, "--profile-out")) {
+        cfg.profile = true;
+        cfg.profile_out = v;
+    }
     cfg.progress = isatty(fileno(stderr)) != 0;
 
     CampaignSummary sum = runCampaign(cfg);
@@ -694,7 +728,8 @@ const Command commands[] = {
      "      [--stats-json F] [--monitor] [--flight-recorder]\n"
      "      [--flight-capacity N] [--sample-interval N]\n"
      "      [--sample-csv F] [--dump-on-fail PREFIX]\n"
-     "      [--max-events N] [--inject-reserve-bug] [--legacy-queue]\n"},
+     "      [--max-events N] [--inject-reserve-bug] [--legacy-queue]\n"
+     "      [--profile] [--profile-hz N] [--profile-out F]\n"},
     {"monitor", true, wrapMonitor,
      "  monitor <file> [run options]  (always-on monitor verdict;\n"
      "          exit 1 on hardware violation or failed run)\n"},
@@ -708,8 +743,10 @@ const Command commands[] = {
      "           [--seed N] [--no-shrink] [--max-events N]\n"
      "           [--sync-every N] [--inject-reserve-bug]\n"
      "           [--legacy-queue]\n"
+     "           [--profile] [--profile-hz N] [--profile-out F]\n"
      "           (bulk verification; exit 1 iff a hardware violation\n"
-     "           survived shrinking)\n"},
+     "           survived shrinking; --profile writes folded stacks +\n"
+     "           a per-worker Chrome trace under --out-dir)\n"},
     {"lockset", true, wrapLockset, "  lockset <file>\n"},
     {"litmus", true, wrapLitmus,
      "  litmus <file>   (evaluate the file's 'probe' condition on\n"
