@@ -65,21 +65,33 @@ main()
     const auto speedup = [&](const CampaignSummary &s) {
         return s.wall_s > 0 ? s1.wall_s / s.wall_s : 0.0;
     };
+    // A row running more workers than hardware threads measures
+    // time-slicing, not scaling: speedup and p99 on such a row say
+    // nothing about the scheduler, and the artifact says so instead of
+    // letting downstream gates read noise as regression.  Unknown
+    // concurrency (hw == 0) stays unflagged -- there is nothing honest
+    // to derive from it.
+    const auto oversub = [&](int jobs) {
+        return hw != 0 && static_cast<unsigned>(jobs) > hw;
+    };
 
     Table t({"workers", "wall s", "cells/s", "speedup vs 1", "p50 ms",
-             "p99 ms"});
+             "p99 ms", "oversub"});
     for (std::size_t i = 0; i < sums.size(); ++i)
         t.addRow({strprintf("%d", worker_counts[i]),
                   strprintf("%.2f", sums[i].wall_s),
                   strprintf("%.1f", sums[i].cells_per_sec),
                   strprintf("%.2fx", speedup(sums[i])),
                   strprintf("%.3f", sums[i].lat_p50_ms),
-                  strprintf("%.3f", sums[i].lat_p99_ms)});
+                  strprintf("%.3f", sums[i].lat_p99_ms),
+                  oversub(worker_counts[i]) ? "yes" : "-"});
     t.print();
     std::printf("Read: a cell is one full simulated run, so the fleet "
                 "is embarrassingly parallel; speedup tracks the "
                 "physical core count and per-cell p99 stays flat when "
-                "the hot path has no serialization point.\n");
+                "the hot path has no serialization point.  Rows marked "
+                "oversub ran more workers than hardware threads and "
+                "measure time-slicing, not scaling.\n");
 
     Json payload = Json::object();
     payload.set("cells", Json(cells));
@@ -90,6 +102,8 @@ main()
         payload.set(p + "cells_per_sec", Json(sums[i].cells_per_sec));
         payload.set(p + "p50_ms", Json(sums[i].lat_p50_ms));
         payload.set(p + "p99_ms", Json(sums[i].lat_p99_ms));
+        payload.set(p + "oversubscribed",
+                    Json(oversub(worker_counts[i])));
     }
     payload.set("speedup_2", Json(speedup(sums[1])));
     payload.set("speedup_4", Json(speedup(sums[2])));

@@ -14,6 +14,7 @@ Usage:
 import argparse
 import json
 import os
+import re
 import sys
 
 # (artifact file, metric key, human name) -- the gated trajectory.
@@ -36,15 +37,43 @@ def load_metric(directory, fname, key):
     return float(data[key]), path
 
 
-def load_hw_threads(directory, fname):
-    """The recorded hardware concurrency, or None (older artifacts)."""
+def load_artifact(directory, fname):
+    """The whole artifact object, or None when absent."""
     path = os.path.join(directory, fname)
     if not os.path.exists(path):
         return None
     with open(path) as f:
-        data = json.load(f)
+        return json.load(f)
+
+
+def load_hw_threads(directory, fname):
+    """The recorded hardware concurrency, or None (older artifacts)."""
+    data = load_artifact(directory, fname)
+    if data is None:
+        return None
     value = data.get("hw_threads")
     return int(value) if value is not None else None
+
+
+def oversubscribed(data, key):
+    """Does the artifact mark this jobsN_* row as oversubscribed?
+
+    Prefers the explicit jobsN_oversubscribed flag the bench stamps;
+    derives it from hw_threads for artifacts that predate the flag.
+    An oversubscribed row ran more workers than hardware threads, so
+    its speedup and tail-latency numbers measure time-slicing, not the
+    scheduler -- asserting on them gates on noise.
+    """
+    if data is None:
+        return False
+    m = re.match(r"jobs(\d+)_", key)
+    if not m:
+        return False
+    flag = data.get(f"jobs{m.group(1)}_oversubscribed")
+    if flag is not None:
+        return bool(flag)
+    hw = data.get("hw_threads")
+    return hw is not None and int(m.group(1)) > int(hw)
 
 
 def check_topology(baseline_dir, fresh_dir):
@@ -86,6 +115,18 @@ def main():
         if base is None:
             print(f"  [skip] {name}: no committed baseline "
                   f"({base_path}); run scripts/bench_all.sh and commit")
+            continue
+        base_over = oversubscribed(load_artifact(args.baseline, fname),
+                                   key)
+        fresh_over = oversubscribed(load_artifact(args.fresh, fname),
+                                    key)
+        if base_over or fresh_over:
+            where = ("baseline and fresh" if base_over and fresh_over
+                     else "baseline" if base_over else "fresh")
+            print(f"  [oversub] SKIP {name}: the {where} row ran more "
+                  f"workers than hardware threads; its numbers measure "
+                  f"time-slicing, not scaling, so no speedup/p99 "
+                  f"assertion applies")
             continue
         floor = base * (1.0 - args.tolerance)
         ratio = fresh / base if base > 0 else float("inf")

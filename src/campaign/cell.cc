@@ -262,7 +262,12 @@ runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
     MaterializedCell m;
     {
         Timeline::Scope mat_span(tl, SpanKind::materialize);
+        const auto m0 = std::chrono::steady_clock::now();
         m = materializeCell(cell, cache);
+        r.mat_us = static_cast<std::uint64_t>(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - m0)
+                .count());
     }
     if (!m.ok()) {
         r.primary_kind = "materialize_error";
@@ -280,6 +285,7 @@ runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
     const auto t1 = std::chrono::steady_clock::now();
     r.wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    r.run_us = static_cast<std::uint64_t>(r.wall_ms * 1000.0);
 
     r.completed = sr.completed;
     r.deadlocked = sr.deadlocked;

@@ -165,6 +165,14 @@ struct CellResult
     Tick finish_tick = 0;
     double wall_ms = 0;       //!< host wall-clock cost of the cell
 
+    // Host-time span decomposition, journaled per cell so post-hoc
+    // tooling (wotool report) can break a campaign's wall clock down
+    // without the profiler on.  shrink_us is stamped by the campaign
+    // worker (shrinking happens above runCell).
+    std::uint64_t mat_us = 0;    //!< materialize (parse/factory/generate)
+    std::uint64_t run_us = 0;    //!< timed simulation
+    std::uint64_t shrink_us = 0; //!< shrink + evidence re-run
+
     /** Did the hardware break the Definition-2 contract? */
     bool hardwareFailure() const { return hw > 0; }
 

@@ -413,6 +413,10 @@ Journal::appendCell(const CellResult &r)
     j.set("sig", Json(r.outcome_sig));
     j.set("tick", Json(r.finish_tick));
     j.set("ms", Json(r.wall_ms));
+    j.set("mat_us", Json(r.mat_us));
+    j.set("run_us", Json(r.run_us));
+    if (r.shrink_us > 0)
+        j.set("shrink_us", Json(r.shrink_us));
     if (!r.primary_kind.empty())
         j.set("kind", Json(r.primary_kind));
     appendLine(j);

@@ -15,6 +15,8 @@
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "obs/artifact.hh"
+#include "obs/httpd.hh"
+#include "obs/metrics.hh"
 #include "obs/profiler.hh"
 
 namespace wo {
@@ -115,6 +117,31 @@ struct alignas(64) WorkerStats
     std::atomic<std::uint64_t> skipped{0};
     std::atomic<std::uint64_t> hw{0};
 
+    /**
+     * Live per-cell latency, as power-of-two microsecond buckets:
+     * bucket b counts cells whose wall time fell in (2^(b-1), 2^b]
+     * us (the last bucket absorbs overflow).  Owner-written relaxed
+     * like the counters above, so /metrics and /progress can render a
+     * histogram and live p50/p99 mid-run without touching lat_ms.
+     */
+    static constexpr int num_lat_buckets = 28; //!< 2^27 us ~ 134 s
+    std::atomic<std::uint64_t> lat_count{0};
+    std::atomic<std::uint64_t> lat_sum_us{0};
+    std::atomic<std::uint64_t> lat_bucket[num_lat_buckets] = {};
+
+    void
+    recordLatency(double ms)
+    {
+        const std::uint64_t us =
+            ms <= 0 ? 0 : static_cast<std::uint64_t>(ms * 1000.0);
+        int b = 0;
+        while (b + 1 < num_lat_buckets && (std::uint64_t{1} << b) < us)
+            ++b;
+        lat_bucket[b].fetch_add(1, std::memory_order_relaxed);
+        lat_sum_us.fetch_add(us, std::memory_order_relaxed);
+        lat_count.fetch_add(1, std::memory_order_relaxed);
+    }
+
     // Merged only at join.
     std::uint64_t clean = 0;
     std::uint64_t racy = 0;
@@ -199,6 +226,17 @@ struct Engine
     std::atomic<std::uint64_t> unique_failures{0};
     std::atomic<bool> done{false};
 
+    /** One unique failure, queued for the /events SSE stream.  The
+     *  feed is appended off the hot path (only on a first-of-dedup
+     *  discovery, after shrinking) and only ever grows, so stream
+     *  cursors stay valid. */
+    struct FailureEvent
+    {
+        std::string dedup, kind, cell, file;
+    };
+    std::mutex feed_mu;
+    std::vector<FailureEvent> failure_feed;
+
     std::uint64_t
     sumLive(std::atomic<std::uint64_t> WorkerStats::*f) const
     {
@@ -226,7 +264,229 @@ struct Engine
 
     void handleFailure(int w, const Cell &cell, CellRun &run);
     void worker(int w);
+
+    // --- Live control plane (every reader below touches only
+    // owner-written relaxed atomics, the lanes' live totals and the
+    // mutex-guarded failure feed; none stalls the fleet).
+
+    /** Merged live latency: counts, sum and cumulative buckets. */
+    struct LatSnapshot
+    {
+        std::uint64_t count = 0;
+        std::uint64_t sum_us = 0;
+        std::uint64_t cum[WorkerStats::num_lat_buckets] = {};
+    };
+
+    LatSnapshot
+    latSnapshot() const
+    {
+        LatSnapshot s;
+        for (int w = 0; w < cfg.jobs; ++w) {
+            const WorkerStats &ws = wstats[w];
+            s.count += ws.lat_count.load(std::memory_order_relaxed);
+            s.sum_us += ws.lat_sum_us.load(std::memory_order_relaxed);
+            for (int b = 0; b < WorkerStats::num_lat_buckets; ++b)
+                s.cum[b] +=
+                    ws.lat_bucket[b].load(std::memory_order_relaxed);
+        }
+        for (int b = 1; b < WorkerStats::num_lat_buckets; ++b)
+            s.cum[b] += s.cum[b - 1];
+        return s;
+    }
+
+    /** Bucket-resolution quantile: the smallest upper bound covering
+     *  quantile @p q, in ms. */
+    static double
+    latQuantileMs(const LatSnapshot &s, double q)
+    {
+        if (s.count == 0)
+            return 0;
+        const std::uint64_t want = static_cast<std::uint64_t>(
+            q * static_cast<double>(s.count - 1)) + 1;
+        for (int b = 0; b < WorkerStats::num_lat_buckets; ++b)
+            if (s.cum[b] >= want)
+                return static_cast<double>(std::uint64_t{1} << b) /
+                       1000.0;
+        return static_cast<double>(
+                   std::uint64_t{1}
+                   << (WorkerStats::num_lat_buckets - 1)) /
+               1000.0;
+    }
+
+    double
+    elapsedS() const
+    {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    }
+
+    /** The live metrics tree (rendered by /metrics as Prometheus
+     *  text with prefix "wo_campaign"). */
+    Json metricsJson() const;
+
+    /** The /progress JSON document. */
+    Json progressJson() const;
+
+    /** Mount /healthz, /metrics, /progress and /events on @p srv. */
+    void mountControlPlane(HttpServer &srv);
 };
+
+Json
+Engine::metricsJson() const
+{
+    MetricsRegistry reg;
+    reg.set("cells.total", Json(cfg.cells));
+    reg.set("cells.completed",
+            Json(sumLive(&WorkerStats::completed)));
+    reg.set("cells.ran", Json(sumLive(&WorkerStats::ran)));
+    reg.set("cells.skipped", Json(sumLive(&WorkerStats::skipped)));
+    reg.set("cells.hw_failed", Json(sumLive(&WorkerStats::hw)));
+    reg.set("failures.unique",
+            Json(unique_failures.load(std::memory_order_relaxed)));
+    reg.set("frontier.novelty", Json(fuzzer.noveltyCount()));
+    reg.set("jobs", Json(static_cast<std::uint64_t>(cfg.jobs)));
+    reg.set("done", Json(done.load(std::memory_order_relaxed)));
+    reg.set("wall_seconds", Json(elapsedS()));
+
+    for (int w = 0; w < cfg.jobs; ++w) {
+        const WorkerStats &ws = wstats[w];
+        const std::string base = strprintf("worker{worker=\"%d\"}", w);
+        reg.set(base + ".completed",
+                Json(ws.completed.load(std::memory_order_relaxed)));
+        reg.set(base + ".ran",
+                Json(ws.ran.load(std::memory_order_relaxed)));
+        reg.set(base + ".skipped",
+                Json(ws.skipped.load(std::memory_order_relaxed)));
+    }
+    // Per-lane span decomposition (workers + the journal writer):
+    // where each thread's wall clock is going, right now.
+    for (int i = 0; i <= cfg.jobs; ++i) {
+        const Timeline &tl = lanes[i];
+        const std::string base =
+            strprintf("lane{lane=\"%s\"}", tl.lane().c_str());
+        reg.set(base + ".elapsed_ns", Json(tl.liveElapsedNs()));
+        for (int k = 0; k < num_span_kinds; ++k)
+            reg.set(base + strprintf(".span_ns{span=\"%s\"}",
+                                     spanKindName(
+                                         static_cast<SpanKind>(k))),
+                    Json(tl.liveNs(static_cast<SpanKind>(k))));
+    }
+
+    // The live per-cell latency histogram (bucket bounds in us).
+    const LatSnapshot s = latSnapshot();
+    Json h = Json::object();
+    h.set("count", Json(s.count));
+    h.set("sum", Json(s.sum_us));
+    Json buckets = Json::array();
+    for (int b = 0; b < WorkerStats::num_lat_buckets; ++b) {
+        Json e = Json::object();
+        e.set("le", Json(std::uint64_t{1} << b));
+        e.set("n", Json(s.cum[b]));
+        buckets.push(std::move(e));
+        if (s.cum[b] >= s.count)
+            break; // the rest only repeats the total
+    }
+    h.set("buckets", std::move(buckets));
+    reg.set("cell_latency_us", std::move(h));
+    return reg.json();
+}
+
+Json
+Engine::progressJson() const
+{
+    Json p = Json::object();
+    Json cells = Json::object();
+    cells.set("total", Json(cfg.cells));
+    cells.set("completed", Json(sumLive(&WorkerStats::completed)));
+    cells.set("ran", Json(sumLive(&WorkerStats::ran)));
+    cells.set("skipped", Json(sumLive(&WorkerStats::skipped)));
+    cells.set("hw_failed", Json(sumLive(&WorkerStats::hw)));
+    p.set("cells", std::move(cells));
+    p.set("unique_failures",
+          Json(unique_failures.load(std::memory_order_relaxed)));
+    p.set("novelty", Json(fuzzer.noveltyCount()));
+    p.set("wall_s", Json(elapsedS()));
+    p.set("done", Json(done.load(std::memory_order_relaxed)));
+
+    const LatSnapshot s = latSnapshot();
+    Json lat = Json::object();
+    lat.set("count", Json(s.count));
+    lat.set("mean_ms",
+            Json(s.count > 0 ? static_cast<double>(s.sum_us) /
+                                   static_cast<double>(s.count) / 1000.0
+                             : 0.0));
+    lat.set("p50_ms", Json(latQuantileMs(s, 0.50)));
+    lat.set("p99_ms", Json(latQuantileMs(s, 0.99)));
+    p.set("latency", std::move(lat));
+
+    Json workers = Json::array();
+    for (int w = 0; w < cfg.jobs; ++w) {
+        const WorkerStats &ws = wstats[w];
+        Json wj = Json::object();
+        wj.set("worker", Json(static_cast<std::uint64_t>(w)));
+        wj.set("completed",
+               Json(ws.completed.load(std::memory_order_relaxed)));
+        wj.set("ran", Json(ws.ran.load(std::memory_order_relaxed)));
+        wj.set("skipped",
+               Json(ws.skipped.load(std::memory_order_relaxed)));
+        const std::uint64_t el = lanes[w].liveElapsedNs();
+        const std::uint64_t id = lanes[w].liveNs(SpanKind::idle);
+        wj.set("idle_pct",
+               Json(el > 0 ? 100.0 * static_cast<double>(id) /
+                                 static_cast<double>(el)
+                           : 0.0));
+        workers.push(std::move(wj));
+    }
+    p.set("workers", std::move(workers));
+    return p;
+}
+
+void
+Engine::mountControlPlane(HttpServer &srv)
+{
+    srv.handle("/healthz", [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "ok\n";
+        return r;
+    });
+    srv.handle("/metrics", [this](const HttpRequest &) {
+        HttpResponse r;
+        r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = prometheusText(metricsJson(), "wo_campaign");
+        return r;
+    });
+    srv.handle("/progress", [this](const HttpRequest &) {
+        HttpResponse r;
+        r.content_type = "application/json";
+        r.body = progressJson().dump(1) + "\n";
+        return r;
+    });
+    // Each connection copies this generator (and with it a pristine
+    // cursor), so a late subscriber first replays every unique failure
+    // discovered so far, then follows along live.
+    srv.stream("/events",
+               [this, cursor = std::size_t{0}](std::string &chunk)
+                   mutable {
+        {
+            std::lock_guard<std::mutex> lock(feed_mu);
+            for (; cursor < failure_feed.size(); ++cursor) {
+                const FailureEvent &f = failure_feed[cursor];
+                Json j = Json::object();
+                j.set("dedup", Json(f.dedup));
+                j.set("kind", Json(f.kind));
+                j.set("cell", Json(f.cell));
+                j.set("file", Json(f.file));
+                chunk += "event: failure\ndata: " + j.dump(0) + "\n\n";
+            }
+        }
+        chunk += "event: progress\ndata: " + progressJson().dump(0) +
+                 "\n\n";
+        if (done.load(std::memory_order_relaxed)) {
+            chunk += "event: done\ndata: {}\n\n";
+            return false;
+        }
+        return true;
+    });
+}
 
 void
 Engine::handleFailure(int w, const Cell &cell, CellRun &run)
@@ -280,6 +540,12 @@ Engine::handleFailure(int w, const Cell &cell, CellRun &run)
     rec.instructions = s.instructions;
     rec.orig_instructions = s.orig_instructions;
     rec.reproduced = s.reproduced;
+
+    // Feed the /events subscribers; a unique discovery already paid
+    // for a shrink and an evidence re-run, so this lock is noise.
+    std::lock_guard<std::mutex> lock(feed_mu);
+    failure_feed.push_back({dedup, run.result.primary_kind,
+                            run.result.key, wo_path});
 }
 
 void
@@ -324,15 +590,25 @@ Engine::worker(int w)
         }
         idle_span.close();
         CellRun run = runCell(cell, cfg.max_events, queueKind(), &cache);
-        journal.appendCell(run.result);
         ws.classify(run.result);
         ws.lat_ms.push_back(run.result.wall_ms);
+        ws.recordLatency(run.result.wall_ms);
         for (Cell &m : fuzzer.observe(cell, run.result))
             deques.push(w, std::move(m));
         if (run.result.hardwareFailure() && run.program) {
             Timeline::Scope shrink_span(&tl, SpanKind::shrink);
+            const auto s0 = Clock::now();
             handleFailure(w, cell, run);
+            run.result.shrink_us = static_cast<std::uint64_t>(
+                std::chrono::duration<double, std::micro>(Clock::now() -
+                                                          s0)
+                    .count());
         }
+        // Journaled after shrinking so the cell line carries the full
+        // span decomposition; a crash mid-shrink therefore re-runs the
+        // cell on resume, which re-discovers the failure -- correct,
+        // just not free.
+        journal.appendCell(run.result);
         ws.ran.fetch_add(1, std::memory_order_relaxed);
         ws.completed.fetch_add(1, std::memory_order_relaxed);
     }
@@ -398,6 +674,10 @@ runCampaign(const CampaignCfg &user_cfg)
     }
 
     eng.t0 = Clock::now();
+    // Mount the control plane before the fleet exists: a scrape that
+    // races the first cell just reads zeros.
+    if (cfg.serve)
+        eng.mountControlPlane(*cfg.serve);
     std::vector<std::thread> workers;
     workers.reserve(static_cast<std::size_t>(cfg.jobs));
     for (int w = 0; w < cfg.jobs; ++w)
@@ -543,6 +823,16 @@ runCampaign(const CampaignCfg &user_cfg)
         }
         sum.failures.push_back(std::move(rec));
     }
+    // The machine-readable summary next to the journal: what `wotool
+    // report` reads for the outcome matrix and lane decomposition.
+    writeFile(cfg.out_dir + "/campaign.summary.json",
+              sum.toJson().dump(1) + "\n");
+    // Handlers capture the engine on this stack frame: the server must
+    // be quiet before it unwinds.  Streams deliver their final
+    // progress + done events on the next poll; simple requests served
+    // after `done` just read the final totals.
+    if (cfg.serve)
+        cfg.serve->stop();
     return sum;
 }
 

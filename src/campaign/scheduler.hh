@@ -41,6 +41,8 @@
 
 namespace wo {
 
+class HttpServer;
+
 /** Campaign configuration (the `wotool campaign` surface). */
 struct CampaignCfg
 {
@@ -83,6 +85,15 @@ struct CampaignCfg
     double profile_hz = 97;
     /** Folded-stack output path; default <out_dir>/campaign.folded.txt. */
     std::string profile_out;
+    /**
+     * Live control plane (`--serve-port`): an already-started server
+     * the caller owns.  runCampaign() mounts /healthz, /metrics,
+     * /progress and /events on it for the duration of the run and
+     * stops it before returning -- the handlers capture engine state
+     * whose lifetime ends with the call.  Binding (and surfacing a
+     * port-in-use as a config error) is the caller's job.
+     */
+    HttpServer *serve = nullptr;
 };
 
 /** One deduplicated hardware failure, as the campaign reports it. */

@@ -40,6 +40,27 @@ Histogram::percentile(double p) const
     return samples_[std::min(idx, samples_.size() - 1)];
 }
 
+std::vector<Histogram::Bucket>
+Histogram::cumulativeBuckets() const
+{
+    std::vector<Bucket> out;
+    if (samples_.empty())
+        return out;
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+    std::size_t i = 0;
+    for (std::uint64_t le = 1;; le <<= 1) {
+        while (i < samples_.size() && samples_[i] <= le)
+            ++i;
+        out.push_back({le, i});
+        if (le >= max_ || le > (~std::uint64_t{0} >> 1))
+            break;
+    }
+    return out;
+}
+
 void
 Histogram::reset()
 {

@@ -72,6 +72,23 @@ class Histogram
      */
     std::uint64_t percentile(double p) const;
 
+    /** One cumulative bucket of the Prometheus-style export. */
+    struct Bucket
+    {
+        std::uint64_t le;  //!< upper bound (inclusive)
+        std::uint64_t cum; //!< samples <= le
+    };
+
+    /**
+     * Cumulative buckets over a power-of-two ladder (1, 2, 4, ... up
+     * to the first bound >= max()), the shape Prometheus histogram
+     * exposition wants: bucket[i].cum counts every sample <= le, so
+     * the counts are monotonically non-decreasing and the final bucket
+     * equals count().  Empty histogram -> empty vector (the renderer
+     * emits only the implicit +Inf bucket).
+     */
+    std::vector<Bucket> cumulativeBuckets() const;
+
     /** Drop all samples. */
     void reset();
 

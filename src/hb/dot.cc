@@ -1,5 +1,9 @@
 #include "dot.hh"
 
+#include <algorithm>
+#include <map>
+#include <vector>
+
 #include "common/logging.hh"
 #include "hb/closure.hh"
 #include "hb/race.hh"
@@ -60,6 +64,192 @@ executionToDot(const Execution &exec, const DotCfg &cfg)
                              r.first, r.second);
     }
     out += "}\n";
+    return out;
+}
+
+namespace {
+
+std::string
+xmlEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s)
+        switch (c) {
+          case '&': out += "&amp;"; break;
+          case '<': out += "&lt;"; break;
+          case '>': out += "&gt;"; break;
+          case '"': out += "&quot;"; break;
+          default:  out.push_back(c);
+        }
+    return out;
+}
+
+// Figure geometry.  Labels are monospace, so width is chars * advance.
+constexpr double box_h = 24.0;
+constexpr double row_gap = 22.0;  //!< vertical space between boxes
+constexpr double col_gap = 56.0;  //!< space between processor columns
+constexpr double char_w = 7.0;    //!< 11px monospace advance
+constexpr double margin = 24.0;
+
+struct NodePos
+{
+    double cx; //!< box center x
+    double cy; //!< box center y
+    double w;  //!< box width
+};
+
+/** An edge label with a surface-colored halo so it stays legible on
+ *  top of whatever it crosses. */
+std::string
+edgeLabel(double x, double y, const char *text, const char *color)
+{
+    return strprintf("  <text x=\"%.1f\" y=\"%.1f\" font-size=\"9\" "
+                     "text-anchor=\"middle\" fill=\"%s\" stroke=\"#fcfcfb\" "
+                     "stroke-width=\"3\" paint-order=\"stroke\">%s</text>\n",
+                     x, y, color, text);
+}
+
+} // namespace
+
+std::string
+executionToSvg(const Execution &exec, const DotCfg &cfg)
+{
+    HbClosure closure(exec, cfg.flavor);
+
+    // Column layout: width from the longest label in that column.
+    const ProcId nprocs = exec.numProcs();
+    std::vector<double> col_w(nprocs, 64.0);
+    std::vector<double> col_x(nprocs, 0.0);
+    std::size_t max_rows = 0;
+    for (ProcId p = 0; p < nprocs; ++p) {
+        std::size_t chars = 4;
+        for (OpId id : exec.procOps(p))
+            chars = std::max(chars, exec.op(id).toString().size());
+        col_w[p] = static_cast<double>(chars) * char_w + 20.0;
+        max_rows = std::max(max_rows, exec.procOps(p).size());
+    }
+    const double top = (cfg.title.empty() ? 0.0 : 22.0) + 30.0;
+    double x = margin;
+    for (ProcId p = 0; p < nprocs; ++p) {
+        col_x[p] = x;
+        x += col_w[p] + col_gap;
+    }
+    const double width = x - col_gap + margin;
+    const double height = top +
+        static_cast<double>(max_rows) * (box_h + row_gap) - row_gap +
+        margin;
+
+    std::map<OpId, NodePos> pos;
+    for (ProcId p = 0; p < nprocs; ++p) {
+        std::size_t row = 0;
+        for (OpId id : exec.procOps(p)) {
+            pos[id] = {col_x[p] + col_w[p] / 2,
+                       top + static_cast<double>(row) * (box_h + row_gap) +
+                           box_h / 2,
+                       col_w[p]};
+            ++row;
+        }
+    }
+
+    // Chrome/ink follow the report's light surface: boxes carry
+    // hairline borders, sync ops a light-blue wash, so edges the
+    // series blue, races the reserved critical red.
+    std::string out = strprintf(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%.0f\" "
+        "height=\"%.0f\" viewBox=\"0 0 %.0f %.0f\" font-family=\"ui-"
+        "monospace,SFMono-Regular,Menlo,monospace\">\n"
+        "<defs>\n"
+        "  <marker id=\"m-po\" viewBox=\"0 0 8 8\" refX=\"7\" refY=\"4\" "
+        "markerWidth=\"6\" markerHeight=\"6\" orient=\"auto-start-reverse\">"
+        "<path d=\"M0 0 L8 4 L0 8 z\" fill=\"#52514e\"/></marker>\n"
+        "  <marker id=\"m-so\" viewBox=\"0 0 8 8\" refX=\"7\" refY=\"4\" "
+        "markerWidth=\"6\" markerHeight=\"6\" orient=\"auto-start-reverse\">"
+        "<path d=\"M0 0 L8 4 L0 8 z\" fill=\"#2a78d6\"/></marker>\n"
+        "</defs>\n"
+        "<rect width=\"%.0f\" height=\"%.0f\" fill=\"#fcfcfb\"/>\n",
+        width, height, width, height, width, height);
+
+    if (!cfg.title.empty())
+        out += strprintf("  <text x=\"%.1f\" y=\"18\" font-size=\"12\" "
+                         "font-family=\"system-ui,sans-serif\" "
+                         "fill=\"#0b0b0b\">%s</text>\n",
+                         margin, xmlEscape(cfg.title).c_str());
+    for (ProcId p = 0; p < nprocs; ++p)
+        out += strprintf("  <text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                         "font-family=\"system-ui,sans-serif\" "
+                         "text-anchor=\"middle\" fill=\"#52514e\">P%u"
+                         "</text>\n",
+                         col_x[p] + col_w[p] / 2, top - 12.0, p);
+
+    // po edges first (under the boxes' own layer order they sit
+    // between columns of boxes anyway; draw before so/race so the
+    // colored structure stays on top).
+    for (const auto &[a, b] : closure.poEdges()) {
+        const NodePos &pa = pos[a];
+        const NodePos &pb = pos[b];
+        out += strprintf("  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" "
+                         "y2=\"%.1f\" stroke=\"#52514e\" stroke-width=\"1.5\" "
+                         "marker-end=\"url(#m-po)\"/>\n",
+                         pa.cx, pa.cy + box_h / 2, pb.cx,
+                         pb.cy - box_h / 2 - 1.5);
+    }
+    for (const auto &[a, b] : closure.soEdges()) {
+        const NodePos &pa = pos[a];
+        const NodePos &pb = pos[b];
+        // Leave/enter through the box sides facing each other; a
+        // gentle cubic keeps crossings readable.
+        const double dir = pb.cx >= pa.cx ? 1.0 : -1.0;
+        const double x1 = pa.cx + dir * pa.w / 2;
+        const double x2 = pb.cx - dir * (pb.w / 2 + 2.0);
+        const double bend = std::min(24.0, std::max(8.0,
+            (x2 - x1) * dir * 0.25));
+        out += strprintf(
+            "  <path d=\"M%.1f %.1f C%.1f %.1f %.1f %.1f %.1f %.1f\" "
+            "fill=\"none\" stroke=\"#2a78d6\" stroke-width=\"1.5\" "
+            "stroke-dasharray=\"5 3\" marker-end=\"url(#m-so)\"/>\n",
+            x1, pa.cy, x1 + dir * bend, pa.cy, x2 - dir * bend, pb.cy, x2,
+            pb.cy);
+        out += edgeLabel((x1 + x2) / 2, (pa.cy + pb.cy) / 2 - 4.0, "so",
+                         "#2a78d6");
+    }
+    if (cfg.mark_races) {
+        RaceDetectorCfg rcfg;
+        rcfg.flavor = cfg.flavor;
+        for (const Race &r : findRaces(exec, rcfg)) {
+            const NodePos &pa = pos[r.first];
+            const NodePos &pb = pos[r.second];
+            const double dir = pb.cx >= pa.cx ? 1.0 : -1.0;
+            const double x1 = pa.cx + dir * pa.w / 2;
+            const double x2 = pb.cx - dir * pb.w / 2;
+            out += strprintf("  <line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" "
+                             "y2=\"%.1f\" stroke=\"#d03b3b\" "
+                             "stroke-width=\"2\"/>\n",
+                             x1, pa.cy, x2, pb.cy);
+            out += edgeLabel((x1 + x2) / 2, (pa.cy + pb.cy) / 2 - 4.0,
+                             "race", "#d03b3b");
+        }
+    }
+
+    // Boxes + labels last, so line endpoints tuck under their borders.
+    for (ProcId p = 0; p < nprocs; ++p)
+        for (OpId id : exec.procOps(p)) {
+            const MemoryOp &op = exec.op(id);
+            const NodePos &np = pos[id];
+            const char *fill = op.isSync() ? "#cde2fb" : "#ffffff";
+            const char *border = op.isSync() ? "#2a78d6" : "#c3c2b7";
+            out += strprintf(
+                "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" "
+                "height=\"%.1f\" rx=\"4\" fill=\"%s\" stroke=\"%s\"/>\n",
+                np.cx - np.w / 2, np.cy - box_h / 2, np.w, box_h, fill,
+                border);
+            out += strprintf(
+                "  <text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" "
+                "text-anchor=\"middle\" fill=\"#0b0b0b\">%s</text>\n",
+                np.cx, np.cy + 4.0, xmlEscape(op.toString()).c_str());
+        }
+
+    out += "</svg>\n";
     return out;
 }
 

@@ -27,6 +27,18 @@ struct DotCfg
 /** Render @p exec as a DOT graph. */
 std::string executionToDot(const Execution &exec, const DotCfg &cfg = {});
 
+/**
+ * Render @p exec directly as a self-contained SVG -- same figure as
+ * executionToDot (one column per processor in program order, solid po
+ * arrows, dashed blue so edges, red race edges) without needing
+ * graphviz.  The layout is exact because the figure's structure is
+ * fixed: processors are columns, program order is the vertical axis.
+ * The markup embeds cleanly inline (no XML prolog, no external refs);
+ * it is the `.hb.svg` evidence artifact and the per-failure graph in
+ * `wotool report`.
+ */
+std::string executionToSvg(const Execution &exec, const DotCfg &cfg = {});
+
 } // namespace wo
 
 #endif // WO_HB_DOT_HH

@@ -56,6 +56,28 @@ class MetricsRegistry
 /** One histogram rendered to the schema above. */
 Json histogramToJson(const Histogram &h);
 
+/**
+ * Render a metrics tree as Prometheus text exposition (version 0.0.4).
+ *
+ * Dotted paths flatten to metric names joined by '_' and sanitized to
+ * the Prometheus charset, prefixed by @p prefix (e.g. "wo_").  A path
+ * component may carry a literal label set -- `worker{worker="0"}` --
+ * which passes through to the sample line, so per-entity series use
+ * labels instead of exploding the name space.  Leaves render as:
+ *
+ *  - numbers / bools: one gauge sample line
+ *  - objects with numeric "count" and "sum" members: a histogram --
+ *    cumulative `_bucket{le="..."}` lines from the "buckets" member
+ *    (each {"le":B,"n":C} with C = samples <= B), the implicit
+ *    `le="+Inf"` bucket equal to count, then `_sum` and `_count`.  An
+ *    empty histogram (count 0, no buckets) still renders the +Inf
+ *    bucket, so scrapers always see a complete histogram series.
+ *  - strings: skipped (Prometheus has no string samples)
+ *
+ * Each base name gets one `# TYPE` line (gauge or histogram).
+ */
+std::string prometheusText(const Json &root, const std::string &prefix);
+
 } // namespace wo
 
 #endif // WO_OBS_METRICS_HH

@@ -328,7 +328,7 @@ std::string Monitor::report() const
     return out;
 }
 
-std::string Monitor::witnessDot() const
+DotCfg Monitor::witnessDotCfg() const
 {
     DotCfg dc;
     dc.flavor = cfg_.flavor;
@@ -339,7 +339,17 @@ std::string Monitor::witnessDot() const
                                violationKindName(violations_.front().kind),
                                static_cast<unsigned long long>(
                                    violations_.front().tick));
-    return executionToDot(exec_, dc);
+    return dc;
+}
+
+std::string Monitor::witnessDot() const
+{
+    return executionToDot(exec_, witnessDotCfg());
+}
+
+std::string Monitor::witnessSvg() const
+{
+    return executionToSvg(exec_, witnessDotCfg());
 }
 
 MonitorSummary

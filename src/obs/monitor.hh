@@ -46,6 +46,7 @@
 
 #include "common/types.hh"
 #include "execution/execution.hh"
+#include "hb/dot.hh"
 #include "hb/happens_before.hh"
 #include "hb/vector_clock.hh"
 #include "obs/json.hh"
@@ -205,6 +206,11 @@ class Monitor
      */
     std::string witnessDot() const;
 
+    /** The same hb witness rendered directly as self-contained SVG
+     *  (no graphviz round-trip) -- the `.hb.svg` evidence artifact
+     *  `wotool report` embeds per failure. */
+    std::string witnessSvg() const;
+
     /** Machine-readable summary for the metrics tree. */
     Json toJson() const;
 
@@ -212,6 +218,9 @@ class Monitor
     MonitorSummary summary() const;
 
   private:
+    /** Flavor + witness title shared by the DOT and SVG renderings. */
+    DotCfg witnessDotCfg() const;
+
     /** Last write/read of one processor on one location. */
     struct LastOp
     {

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The static campaign dashboard: `wotool report <out-dir>` merges the
+ * journal, the summary JSON, the failure evidence bundles and any
+ * BENCH_*.json artifacts into one self-contained report.html.
+ *
+ * Self-contained means exactly that: inline CSS and JS, no CDN, no
+ * external images -- the happens-before witnesses embed as the SVG the
+ * evidence dump already rendered (see hb/dot.hh), so the file mails,
+ * attaches to CI, and opens offline.  Sections:
+ *
+ *  - headline stat tiles (cells, verdict split, throughput, tails)
+ *  - the outcome matrix: program family x ordering policy, each cell
+ *    the verdict census of every journal cell that crossed the two
+ *  - the per-cell latency histogram (from journaled wall times)
+ *  - the per-lane span decomposition (from campaign.summary.json)
+ *  - the violation browser: every deduplicated failure with its
+ *    shrunk .wo reproducer and embedded hb witness SVG
+ *  - bench artifact tables (BENCH_*.json found in the out dir or
+ *    passed explicitly)
+ */
+
+#ifndef WO_OBS_REPORT_HH
+#define WO_OBS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace wo {
+
+/** Report configuration (the `wotool report` surface). */
+struct ReportCfg
+{
+    std::string out_dir;   //!< campaign output directory (required)
+    std::string html_path; //!< default: <out_dir>/report.html
+    /** Extra bench artifacts; BENCH_*.json inside out_dir are found
+     *  automatically. */
+    std::vector<std::string> bench_files;
+    std::string title = "campaign report";
+};
+
+/**
+ * Build the dashboard HTML from whatever the out dir holds.  Returns
+ * empty and sets @p error when there is nothing to report (no journal
+ * and no summary).
+ */
+std::string buildCampaignReportHtml(const ReportCfg &cfg,
+                                    std::string *error = nullptr);
+
+/** Build and write; returns the path written, or "" with @p error. */
+std::string writeCampaignReport(const ReportCfg &cfg,
+                                std::string *error = nullptr);
+
+} // namespace wo
+
+#endif // WO_OBS_REPORT_HH

@@ -156,13 +156,15 @@ System::dumpEvidence(const char *why)
         // A livelocked spin can retire millions of ops; rendering the
         // full hb graph would dwarf the failure it documents.
         const std::size_t nops = monitor_->execution().ops().size();
-        writeFile(prefix + ".hb.dot",
-                  nops <= SystemCfg::max_witness_dot_ops
-                      ? monitor_->witnessDot()
-                      : strprintf("// hb witness omitted: %zu retired "
-                                  "ops exceed the render cap (%zu)\n",
-                                  nops,
-                                  SystemCfg::max_witness_dot_ops));
+        if (nops <= SystemCfg::max_witness_dot_ops) {
+            writeFile(prefix + ".hb.dot", monitor_->witnessDot());
+            writeFile(prefix + ".hb.svg", monitor_->witnessSvg());
+        } else {
+            writeFile(prefix + ".hb.dot",
+                      strprintf("// hb witness omitted: %zu retired "
+                                "ops exceed the render cap (%zu)\n",
+                                nops, SystemCfg::max_witness_dot_ops));
+        }
         writeFile(prefix + ".monitor.txt",
                   strprintf("reason: %s\n", why) + monitor_->report());
     }

@@ -1,0 +1,207 @@
+// Tests for the control-plane HTTP server (obs/httpd.hh): routing,
+// error statuses, concurrent clients, bind failures, and the prompt
+// clean shutdown the campaign integration depends on.
+
+#include <arpa/inet.h>
+#include <atomic>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/httpd.hh"
+
+namespace wo {
+namespace {
+
+/** Send one raw request to 127.0.0.1:@p port; return the whole
+ *  response (the server closes after each response, so read-to-EOF
+ *  frames it). */
+std::string
+rawRequest(std::uint16_t port, const std::string &request)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in sa = {};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&sa), sizeof(sa)) <
+        0) {
+        ::close(fd);
+        return "";
+    }
+    ::send(fd, request.data(), request.size(), 0);
+    std::string out;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        out.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return out;
+}
+
+std::string
+httpGet(std::uint16_t port, const std::string &path)
+{
+    return rawRequest(port, "GET " + path +
+                                " HTTP/1.1\r\n"
+                                "Host: x\r\nConnection: close\r\n\r\n");
+}
+
+TEST(Httpd, RoutesGetByExactPath)
+{
+    HttpServer srv;
+    srv.handle("/healthz", [](const HttpRequest &) {
+        HttpResponse r;
+        r.body = "ok\n";
+        return r;
+    });
+    srv.handle("/metrics", [](const HttpRequest &req) {
+        HttpResponse r;
+        r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        r.body = "wo_up 1\n";
+        EXPECT_EQ(req.method, "GET");
+        return r;
+    });
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+    ASSERT_NE(srv.port(), 0); // ephemeral port resolved
+
+    const std::string health = httpGet(srv.port(), "/healthz");
+    EXPECT_NE(health.find("HTTP/1.1 200"), std::string::npos) << health;
+    EXPECT_NE(health.find("ok\n"), std::string::npos);
+
+    const std::string metrics = httpGet(srv.port(), "/metrics");
+    EXPECT_NE(metrics.find("HTTP/1.1 200"), std::string::npos);
+    EXPECT_NE(metrics.find("version=0.0.4"), std::string::npos);
+    EXPECT_NE(metrics.find("wo_up 1\n"), std::string::npos);
+    EXPECT_GE(srv.requestsServed(), 2u);
+}
+
+TEST(Httpd, QueryStringIsStrippedAndPassedThrough)
+{
+    HttpServer srv;
+    std::string seen_query;
+    srv.handle("/progress", [&](const HttpRequest &req) {
+        seen_query = req.query;
+        HttpResponse r;
+        r.body = "{}";
+        return r;
+    });
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+    const std::string resp = httpGet(srv.port(), "/progress?pretty=1");
+    EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos) << resp;
+    EXPECT_EQ(seen_query, "pretty=1");
+}
+
+TEST(Httpd, UnroutedPathIs404NonGetIs405)
+{
+    HttpServer srv;
+    srv.handle("/only", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+    EXPECT_NE(httpGet(srv.port(), "/nope").find("HTTP/1.1 404"),
+              std::string::npos);
+    const std::string post = rawRequest(
+        srv.port(), "POST /only HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_NE(post.find("HTTP/1.1 405"), std::string::npos) << post;
+}
+
+TEST(Httpd, ConcurrentClientsAllGetTheirResponse)
+{
+    HttpServer srv;
+    std::atomic<int> handled{0};
+    srv.handle("/work", [&](const HttpRequest &) {
+        handled.fetch_add(1);
+        HttpResponse r;
+        r.body = "done";
+        return r;
+    });
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+
+    constexpr int clients = 8, each = 5;
+    std::atomic<int> good{0};
+    std::vector<std::thread> pool;
+    for (int c = 0; c < clients; ++c)
+        pool.emplace_back([&] {
+            for (int i = 0; i < each; ++i)
+                if (httpGet(srv.port(), "/work").find("done") !=
+                    std::string::npos)
+                    good.fetch_add(1);
+        });
+    for (auto &t : pool)
+        t.join();
+    EXPECT_EQ(good.load(), clients * each);
+    EXPECT_EQ(handled.load(), clients * each);
+}
+
+TEST(Httpd, PortInUseFailsStartWithReason)
+{
+    HttpServer first;
+    first.handle("/", [](const HttpRequest &) {
+        return HttpResponse{};
+    });
+    ASSERT_TRUE(first.start()) << first.lastError();
+
+    HttpServerCfg cfg;
+    cfg.port = first.port();
+    HttpServer second(cfg);
+    EXPECT_FALSE(second.start());
+    EXPECT_FALSE(second.lastError().empty());
+    // The loser must not have torn down the winner.
+    EXPECT_NE(httpGet(first.port(), "/").find("HTTP/1.1 200"),
+              std::string::npos);
+}
+
+TEST(Httpd, StreamDeliversFramedEventsUntilGeneratorEnds)
+{
+    HttpServerCfg cfg;
+    cfg.stream_interval_ms = 10;
+    HttpServer srv(cfg);
+    srv.stream("/events", [n = 0](std::string &chunk) mutable {
+        if (n >= 3)
+            return false;
+        chunk = "event: tick\ndata: " + std::to_string(n++) + "\n\n";
+        return true;
+    });
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+    const std::string resp = httpGet(srv.port(), "/events");
+    EXPECT_NE(resp.find("text/event-stream"), std::string::npos)
+        << resp;
+    EXPECT_NE(resp.find("data: 0\n"), std::string::npos);
+    EXPECT_NE(resp.find("data: 2\n"), std::string::npos);
+}
+
+TEST(Httpd, StopIsPromptWithAStreamingClientAttached)
+{
+    HttpServerCfg cfg;
+    cfg.stream_interval_ms = 10;
+    HttpServer srv(cfg);
+    srv.stream("/events", [](std::string &chunk) {
+        chunk.clear(); // nothing to say; keep the stream open
+        return true;
+    });
+    ASSERT_TRUE(srv.start()) << srv.lastError();
+
+    // A client parked on the infinite stream must not wedge stop():
+    // this is the mid-campaign ^C path.
+    std::thread client(
+        [port = srv.port()] { httpGet(port, "/events"); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    srv.stop();  // joins acceptor + handlers; must return promptly
+    client.join(); // stream ended => client read EOF
+    srv.stop();    // idempotent
+    SUCCEED();
+}
+
+} // namespace
+} // namespace wo

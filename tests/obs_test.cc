@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "asm/assembler.hh"
@@ -228,6 +229,77 @@ TEST(Metrics, RegistryNestsDottedPaths)
     ASSERT_TRUE(r.ok) << r.error;
     EXPECT_EQ(r.value.find("run")->find("policy")->stringValue(), "SC");
     EXPECT_EQ(r.value.find("cache0")->find("hits")->uintValue(), 3u);
+}
+
+TEST(Metrics, PrometheusTextGoldenForSeededRegistry)
+{
+    // The control plane's /metrics contract, pinned byte-for-byte:
+    // dotted paths flatten with '_', a `part{label="x"}` component
+    // passes its labels through, histograms render cumulative buckets
+    // plus the implicit +Inf, and every base gets one # TYPE line.
+    MetricsRegistry reg;
+    reg.set("cells.completed", Json(std::uint64_t{7}));
+    reg.set("done", Json(false));
+    reg.set("worker{worker=\"0\"}.ran", Json(std::uint64_t{4}));
+    Json h = Json::object();
+    h.set("count", Json(std::uint64_t{3}));
+    h.set("sum", Json(std::uint64_t{112}));
+    Json buckets = Json::array();
+    Json b16 = Json::object();
+    b16.set("le", Json(std::uint64_t{16}));
+    b16.set("n", Json(std::uint64_t{1}));
+    buckets.push(std::move(b16));
+    Json b64 = Json::object();
+    b64.set("le", Json(std::uint64_t{64}));
+    b64.set("n", Json(std::uint64_t{3}));
+    buckets.push(std::move(b64));
+    h.set("buckets", std::move(buckets));
+    reg.set("cell_latency_us", std::move(h));
+
+    const char *golden =
+        "# TYPE wo_campaign_cells_completed gauge\n"
+        "wo_campaign_cells_completed 7\n"
+        "# TYPE wo_campaign_done gauge\n"
+        "wo_campaign_done 0\n"
+        "# TYPE wo_campaign_worker_ran gauge\n"
+        "wo_campaign_worker_ran{worker=\"0\"} 4\n"
+        "# TYPE wo_campaign_cell_latency_us histogram\n"
+        "wo_campaign_cell_latency_us_bucket{le=\"16\"} 1\n"
+        "wo_campaign_cell_latency_us_bucket{le=\"64\"} 3\n"
+        "wo_campaign_cell_latency_us_bucket{le=\"+Inf\"} 3\n"
+        "wo_campaign_cell_latency_us_sum 112\n"
+        "wo_campaign_cell_latency_us_count 3\n";
+    EXPECT_EQ(prometheusText(reg.json(), "wo_campaign"), golden);
+}
+
+TEST(Metrics, PrometheusHistogramBucketsAreCumulative)
+{
+    // Render a real Histogram through the same path the run metrics
+    // take; whatever the bucket layout, the exported counts must be
+    // monotone and the last explicit bucket must absorb every sample.
+    Histogram h;
+    for (std::uint64_t v : {1, 2, 2, 4, 100})
+        h.sample(v);
+    Json tree = Json::object();
+    tree.set("lat", histogramToJson(h));
+    const std::string text = prometheusText(tree, "wo");
+
+    std::uint64_t prev = 0, buckets = 0;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto at = line.find("_bucket{le=\"");
+        if (at == std::string::npos)
+            continue;
+        ++buckets;
+        const std::uint64_t n =
+            std::strtoull(line.substr(line.find("} ") + 2).c_str(),
+                          nullptr, 10);
+        EXPECT_GE(n, prev) << text;
+        prev = n;
+    }
+    EXPECT_GE(buckets, 2u) << text;
+    EXPECT_EQ(prev, h.count()) << text; // +Inf line comes last
 }
 
 } // namespace

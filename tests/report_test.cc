@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the static campaign dashboard (obs/report.hh): a seeded
+ * fault-injection campaign must render into a self-contained
+ * report.html carrying the outcome matrix and at least one embedded
+ * happens-before witness SVG, and the builder must refuse an empty
+ * directory rather than emit a hollow page.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "campaign/scheduler.hh"
+#include "obs/report.hh"
+
+namespace wo {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::string out;
+    FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+// The reserve-bit leak witness from campaign_test: under WO-DRF0 with
+// the injected fault the lock line's reserve bit survives the release
+// and the monitor flags it, giving the report a deterministic failure
+// to render.
+const char *const leak_source = R"(program fatleak
+thread 0
+  ld r1 pad0
+  st pad1 7
+  tas r7 lock
+  st data 1
+  st data2 2
+  syncst lock 0
+  ld r2 pad0
+  st pad1 9
+thread 1
+  work 300
+  ld r3 pad2
+  tas r7 lock
+  syncst lock 0
+  st pad2 5
+thread 2
+  ld r4 pad3
+  st pad3 1
+  ld r5 pad3
+)";
+
+TEST(Report, RendersMatrixAndEmbeddedWitnessForSeededFault)
+{
+    const std::string wo_path = testing::TempDir() + "report_leak.wo";
+    FILE *f = std::fopen(wo_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs(leak_source, f);
+    std::fclose(f);
+
+    CampaignCfg cfg;
+    cfg.jobs = 2;
+    cfg.cells = 30;
+    cfg.out_dir = testing::TempDir() + "report_camp";
+    cfg.max_events = 60'000;
+    cfg.shrink_max_runs = 200;
+    cfg.inject_reserve_bug = true;
+    cfg.policies = {OrderingPolicy::wo_drf0};
+    cfg.program_files = {wo_path};
+    cfg.seed = 31;
+    auto sum = runCampaign(cfg);
+    ASSERT_GE(sum.failures.size(), 1u); // the hunt must land
+
+    ReportCfg rcfg;
+    rcfg.out_dir = cfg.out_dir;
+    std::string error;
+    const std::string path = writeCampaignReport(rcfg, &error);
+    ASSERT_FALSE(path.empty()) << error;
+    const std::string html = slurp(path);
+    ASSERT_FALSE(html.empty());
+
+    // Self-contained document with every section present.
+    EXPECT_NE(html.find("<!doctype html>"), std::string::npos);
+    EXPECT_NE(html.find("outcome matrix"), std::string::npos);
+    EXPECT_NE(html.find("per-cell latency"), std::string::npos);
+    EXPECT_NE(html.find("violations"), std::string::npos);
+
+    // The outcome matrix has program rows, the pinned policy column,
+    // and hardware-failing cells.
+    EXPECT_NE(html.find("class=prog"), std::string::npos);
+    EXPECT_NE(html.find("<th>drf0</th>"), std::string::npos);
+    EXPECT_NE(html.find("c-hw"), std::string::npos);
+
+    // At least one failure card embeds its hb witness as inline SVG
+    // (the marker defs only exist in the witness renderer's output)
+    // and its shrunk reproducer text.
+    EXPECT_NE(html.find("happens-before witness"), std::string::npos);
+    EXPECT_NE(html.find("id=\"m-po\""), std::string::npos);
+    EXPECT_NE(html.find("reserve_leak"), std::string::npos);
+    EXPECT_NE(html.find("shrunk reproducer"), std::string::npos);
+
+    // Self-contained means no external fetches (the SVG xmlns is the
+    // only URL-shaped string allowed).
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+    EXPECT_EQ(html.find("<script src"), std::string::npos);
+    EXPECT_EQ(html.find("<link "), std::string::npos);
+}
+
+TEST(Report, RefusesADirectoryWithNoCampaignArtifacts)
+{
+    const std::string empty = testing::TempDir() + "report_empty";
+    std::remove((empty + "/campaign.journal.jsonl").c_str());
+    ReportCfg cfg;
+    cfg.out_dir = empty;
+    std::string error;
+    EXPECT_TRUE(writeCampaignReport(cfg, &error).empty());
+    EXPECT_FALSE(error.empty());
+}
+
+} // namespace
+} // namespace wo

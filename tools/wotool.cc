@@ -43,12 +43,21 @@
  *                     [--out-dir DIR] [--resume] [--policy LIST]
  *                     [--programs F1,F2,...] [--seed N] [--no-shrink]
  *                     [--max-events N] [--inject-reserve-bug]
+ *                     [--serve-port N] [--serve-addr A]
  *         Bulk Definition-2 verification: fan a fuzzed stream of
  *         (program x policy x seed) cells over a work-stealing worker
  *         fleet, shrink every hardware violation to a minimal .wo
  *         reproducer, and journal everything so a killed campaign
  *         resumes where it stopped.  Exits nonzero iff a hardware
- *         violation survived shrinking.  See docs/CAMPAIGN.md.
+ *         violation survived shrinking.  --serve-port mounts the live
+ *         control plane (/healthz, /metrics, /progress, /events); run
+ *         and monitor accept it too.  See docs/CAMPAIGN.md and
+ *         docs/OBSERVABILITY.md.
+ *
+ *     wotool report <out-dir> [--out F] [--title T] [--bench F,...]
+ *         Merge a campaign's journal, summary, failure evidence and
+ *         BENCH_*.json artifacts into one self-contained static
+ *         report.html (inline CSS/JS, embedded hb witness SVGs).
  *
  *     wotool disasm  <file>
  *         Parse and print back (normalizes labels/locations).
@@ -62,6 +71,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unistd.h>
 #include <vector>
@@ -82,6 +93,10 @@
 #include "models/wo_drf0_model.hh"
 #include "models/write_buffer_model.hh"
 #include "obs/artifact.hh"
+#include "obs/httpd.hh"
+#include "obs/json.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
 #include "sc/sc_checker.hh"
 #include "sys/system.hh"
 
@@ -335,6 +350,99 @@ emitRunArtifacts(const SystemResult &r, int argc, char **argv)
     return 0;
 }
 
+/** Parse --serve-port/--serve-addr (call only when --serve-port is
+ *  present).  Prints and returns false on a bad value. */
+bool
+parseServeOpts(int argc, char **argv, HttpServerCfg &scfg)
+{
+    const char *v = opt(argc, argv, "--serve-port");
+    char *end = nullptr;
+    const unsigned long p = std::strtoul(v, &end, 0);
+    if (end == v || *end || p > 65535) {
+        std::fprintf(stderr, "--serve-port wants a port in 0..65535 "
+                             "(0 = ephemeral)\n");
+        return false;
+    }
+    scfg.port = static_cast<std::uint16_t>(p);
+    if (const char *a = opt(argc, argv, "--serve-addr"))
+        scfg.addr = a;
+    return true;
+}
+
+/**
+ * The run/monitor control plane.  /healthz answers immediately;
+ * /metrics and /progress serve the most recently published stats
+ * snapshot.  The single-run simulator is not instrumented with the
+ * live atomics the campaign fleet has, so the snapshot appears when
+ * the run completes; the server answers from bind until command exit,
+ * which lets an external scraper distinguish "starting", "running"
+ * and "finished" without races.
+ */
+class RunServe
+{
+  public:
+    /// Parse the serve flags and bind.  Returns 0 when serving was not
+    /// requested, 1 on success, -1 on failure (error already printed;
+    /// the caller exits 2).
+    int maybeStart(int argc, char **argv)
+    {
+        if (!opt(argc, argv, "--serve-port"))
+            return 0;
+        HttpServerCfg scfg;
+        if (!parseServeOpts(argc, argv, scfg))
+            return -1;
+        srv_ = std::make_unique<HttpServer>(scfg);
+        srv_->handle("/healthz", [](const HttpRequest &) {
+            HttpResponse r;
+            r.body = "ok\n";
+            return r;
+        });
+        srv_->handle("/metrics", [this](const HttpRequest &) {
+            HttpResponse r;
+            r.content_type =
+                "text/plain; version=0.0.4; charset=utf-8";
+            std::lock_guard<std::mutex> lk(mu_);
+            r.body = prom_.empty() ? "# run in progress\n" : prom_;
+            return r;
+        });
+        srv_->handle("/progress", [this](const HttpRequest &) {
+            HttpResponse r;
+            r.content_type = "application/json";
+            std::lock_guard<std::mutex> lk(mu_);
+            r.body =
+                json_.empty() ? "{\"done\": false}\n" : json_ + "\n";
+            return r;
+        });
+        if (!srv_->start()) {
+            std::fprintf(stderr, "cannot start control plane: %s\n",
+                         srv_->lastError().c_str());
+            return -1;
+        }
+        std::fprintf(stderr,
+                     "[serve] control plane on http://%s:%u "
+                     "(/healthz /metrics /progress)\n",
+                     scfg.addr.c_str(), srv_->port());
+        return 1;
+    }
+
+    /// Publish the finished run's metrics tree to /metrics + /progress.
+    void publish(const std::string &stats_json)
+    {
+        if (!srv_)
+            return;
+        JsonParseResult p = jsonParse(stats_json);
+        std::lock_guard<std::mutex> lk(mu_);
+        json_ = stats_json;
+        if (p.ok)
+            prom_ = prometheusText(p.value, "wo");
+    }
+
+  private:
+    std::unique_ptr<HttpServer> srv_;
+    std::mutex mu_;
+    std::string prom_, json_;
+};
+
 int
 cmdRun(const AsmResult &a, int argc, char **argv)
 {
@@ -347,10 +455,14 @@ cmdRun(const AsmResult &a, int argc, char **argv)
     const char *stats_json = opt(argc, argv, "--stats-json");
     cfg.trace = trace_json || trace_jsonl;
 
+    RunServe serve;
+    if (serve.maybeStart(argc, argv) < 0)
+        return 2;
     System sys(prog, cfg);
     for (const auto &w : a.warm)
         sys.warmShared(w.addr, w.procs);
     auto r = sys.run();
+    serve.publish(r.stats_json);
     std::printf("%s under %s: %s, finish tick %llu\n",
                 prog.name().c_str(), policyName(cfg.policy),
                 r.completed
@@ -426,10 +538,14 @@ cmdMonitor(const AsmResult &a, int argc, char **argv)
         return 2;
     cfg.monitor = true;
 
+    RunServe serve;
+    if (serve.maybeStart(argc, argv) < 0)
+        return 2;
     System sys(prog, cfg);
     for (const auto &w : a.warm)
         sys.warmShared(w.addr, w.procs);
     auto r = sys.run();
+    serve.publish(r.stats_json);
     std::printf("%s under %s: %s, finish tick %llu\n",
                 prog.name().c_str(), policyName(cfg.policy),
                 r.completed
@@ -626,9 +742,57 @@ cmdCampaign(const AsmResult *, int argc, char **argv)
     }
     cfg.progress = isatty(fileno(stderr)) != 0;
 
+    // The live control plane: bind before the fleet spawns so an
+    // early scrape sees zeros rather than a refused connection.
+    // runCampaign mounts the routes and stops the server before
+    // returning, so its handlers never outlive the engine.
+    std::unique_ptr<HttpServer> server;
+    if (opt(argc, argv, "--serve-port")) {
+        HttpServerCfg scfg;
+        if (!parseServeOpts(argc, argv, scfg))
+            return 2;
+        server = std::make_unique<HttpServer>(scfg);
+        if (!server->start()) {
+            std::fprintf(stderr, "cannot start control plane: %s\n",
+                         server->lastError().c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "[campaign] control plane on http://%s:%u "
+                     "(/healthz /metrics /progress /events)\n",
+                     scfg.addr.c_str(), server->port());
+        cfg.serve = server.get();
+    }
+
     CampaignSummary sum = runCampaign(cfg);
     std::fputs(sum.table().c_str(), stdout);
     return sum.hardwareClean() ? 0 : 1;
+}
+
+int
+cmdReport(const AsmResult *, int argc, char **argv)
+{
+    if (argc < 3 || argv[2][0] == '-') {
+        std::fprintf(stderr,
+                     "report wants a campaign out-dir argument\n");
+        return 2;
+    }
+    ReportCfg cfg;
+    cfg.out_dir = argv[2];
+    if (const char *v = opt(argc, argv, "--out"))
+        cfg.html_path = v;
+    if (const char *v = opt(argc, argv, "--title"))
+        cfg.title = v;
+    if (const char *v = opt(argc, argv, "--bench"))
+        cfg.bench_files = splitCommas(v);
+    std::string error;
+    const std::string path = writeCampaignReport(cfg, &error);
+    if (path.empty()) {
+        std::fprintf(stderr, "report: %s\n", error.c_str());
+        return 2;
+    }
+    std::printf("wrote campaign report to %s\n", path.c_str());
+    return 0;
 }
 
 // --- uniform-signature wrappers for the command table ----------------
@@ -729,7 +893,8 @@ const Command commands[] = {
      "      [--flight-capacity N] [--sample-interval N]\n"
      "      [--sample-csv F] [--dump-on-fail PREFIX]\n"
      "      [--max-events N] [--inject-reserve-bug] [--legacy-queue]\n"
-     "      [--profile] [--profile-hz N] [--profile-out F]\n"},
+     "      [--profile] [--profile-hz N] [--profile-out F]\n"
+     "      [--serve-port N] [--serve-addr A]\n"},
     {"monitor", true, wrapMonitor,
      "  monitor <file> [run options]  (always-on monitor verdict;\n"
      "          exit 1 on hardware violation or failed run)\n"},
@@ -744,9 +909,16 @@ const Command commands[] = {
      "           [--sync-every N] [--inject-reserve-bug]\n"
      "           [--legacy-queue]\n"
      "           [--profile] [--profile-hz N] [--profile-out F]\n"
+     "           [--serve-port N] [--serve-addr A]\n"
      "           (bulk verification; exit 1 iff a hardware violation\n"
      "           survived shrinking; --profile writes folded stacks +\n"
-     "           a per-worker Chrome trace under --out-dir)\n"},
+     "           a per-worker Chrome trace under --out-dir;\n"
+     "           --serve-port exposes the live /healthz /metrics\n"
+     "           /progress /events control plane)\n"},
+    {"report", false, cmdReport,
+     "  report <out-dir> [--out F] [--title T] [--bench F1,F2,...]\n"
+     "         (merge the campaign journal, evidence bundles and\n"
+     "         BENCH_*.json into one self-contained report.html)\n"},
     {"lockset", true, wrapLockset, "  lockset <file>\n"},
     {"litmus", true, wrapLitmus,
      "  litmus <file>   (evaluate the file's 'probe' condition on\n"
@@ -769,8 +941,10 @@ toolMain(int argc, char **argv)
         if (cmd != c.name)
             continue;
         if (!c.needs_program) {
-            // analyze-trace still takes a file path in argv[2].
-            if (cmd == "analyze-trace" && argc < 3)
+            // analyze-trace takes a file path in argv[2] and report a
+            // directory; campaign is all options.
+            if ((cmd == "analyze-trace" || cmd == "report") &&
+                argc < 3)
                 return usage();
             return c.handler(nullptr, argc, argv);
         }
