@@ -23,6 +23,8 @@ GATED = [
     ("BENCH_campaign.json", "jobs4_cells_per_sec",
      "campaign cells/sec (4 workers)"),
     ("BENCH_kernel.json", "ticks_per_sec", "kernel ticks/sec"),
+    ("BENCH_fleet.json", "workers1_cells_per_sec",
+     "fleet cells/sec (1 worker)"),
 ]
 
 
@@ -56,24 +58,26 @@ def load_hw_threads(directory, fname):
 
 
 def oversubscribed(data, key):
-    """Does the artifact mark this jobsN_* row as oversubscribed?
+    """Does the artifact mark this jobsN_*/workersN_* row as
+    oversubscribed?
 
-    Prefers the explicit jobsN_oversubscribed flag the bench stamps;
-    derives it from hw_threads for artifacts that predate the flag.
-    An oversubscribed row ran more workers than hardware threads, so
-    its speedup and tail-latency numbers measure time-slicing, not the
-    scheduler -- asserting on them gates on noise.
+    Prefers the explicit jobsN_oversubscribed (workersN_ for the fleet
+    bench) flag the bench stamps; derives it from hw_threads for
+    artifacts that predate the flag.  An oversubscribed row ran more
+    workers than hardware threads, so its speedup and tail-latency
+    numbers measure time-slicing, not the scheduler -- asserting on
+    them gates on noise.
     """
     if data is None:
         return False
-    m = re.match(r"jobs(\d+)_", key)
+    m = re.match(r"(jobs|workers)(\d+)_", key)
     if not m:
         return False
-    flag = data.get(f"jobs{m.group(1)}_oversubscribed")
+    flag = data.get(f"{m.group(1)}{m.group(2)}_oversubscribed")
     if flag is not None:
         return bool(flag)
     hw = data.get("hw_threads")
-    return hw is not None and int(m.group(1)) > int(hw)
+    return hw is not None and int(m.group(2)) > int(hw)
 
 
 def check_topology(baseline_dir, fresh_dir):

@@ -248,6 +248,26 @@ CellResult::verdict() const
     return "clean";
 }
 
+Json
+cellResultToJson(const CellResult &r)
+{
+    Json j = Json::object();
+    j.set("key", Json(r.key));
+    j.set("verdict", Json(r.verdict()));
+    j.set("hw", Json(r.hw));
+    j.set("races", Json(r.races));
+    j.set("sig", Json(r.outcome_sig));
+    j.set("tick", Json(r.finish_tick));
+    j.set("ms", Json(r.wall_ms));
+    j.set("mat_us", Json(r.mat_us));
+    j.set("run_us", Json(r.run_us));
+    if (r.shrink_us > 0)
+        j.set("shrink_us", Json(r.shrink_us));
+    if (!r.primary_kind.empty())
+        j.set("kind", Json(r.primary_kind));
+    return j;
+}
+
 CellRun
 runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
         MaterializeCache *cache)

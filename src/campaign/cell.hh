@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "asm/assembler.hh"
+#include "obs/json.hh"
 #include "obs/monitor.hh"
 #include "program/program.hh"
 #include "program/workload.hh"
@@ -179,6 +180,14 @@ struct CellResult
     /** "clean" | "race" | "hw:<kind>" | "deadlock" | "livelock". */
     std::string verdict() const;
 };
+
+/**
+ * The journal cell-line object for @p r (without the "type" member).
+ * One schema, two producers: Journal::appendCell for in-process
+ * campaigns and the fleet worker's RESULT messages, so a merged fleet
+ * journal is line-compatible with a single-process one.
+ */
+Json cellResultToJson(const CellResult &r);
 
 /**
  * Run one cell to a verdict: materialize, simulate under the online

@@ -181,10 +181,29 @@ Journal::load()
         const Json *type = p.value.find("type");
         if (!type || !type->isString())
             continue;
-        if (type->stringValue() == "cell") {
+        if (type->stringValue() == "campaign") {
+            header_ = p.value;
+            if (const Json *sv = p.value.find("schema_version"))
+                if (sv->isNumber())
+                    loaded_schema_version_ = sv->uintValue();
+            if (loaded_schema_version_ != journal_schema_version) {
+                schema_mismatch_ = true;
+                warn("journal '%s': schema version %llu, this build "
+                     "writes %llu -- records from mixed builds; "
+                     "resume/merge results may be inconsistent",
+                     path_.c_str(),
+                     static_cast<unsigned long long>(
+                         loaded_schema_version_),
+                     static_cast<unsigned long long>(
+                         journal_schema_version));
+            }
+        } else if (type->stringValue() == "cell") {
             if (const Json *k = p.value.find("key"))
                 if (k->isString())
                     resume_done_.insert(k->stringValue());
+            if (const Json *ix = p.value.find("idx"))
+                if (ix->isNumber())
+                    resume_idx_.insert(ix->uintValue());
         } else if (type->stringValue() == "failure") {
             const Json *dedup = p.value.find("dedup");
             if (!dedup || !dedup->isString())
@@ -375,9 +394,29 @@ Journal::writeHeader(Json meta)
 {
     Json j = Json::object();
     j.set("type", Json("campaign"));
+    j.set("schema_version", Json(journal_schema_version));
+    j.set("hw_threads",
+          Json(static_cast<std::uint64_t>(
+              std::thread::hardware_concurrency())));
     for (const auto &[k, v] : meta.members())
         j.set(k, v);
     appendLine(j);
+}
+
+void
+Journal::appendJson(Json line)
+{
+    if (line.isObject()) {
+        const Json *type = line.find("type");
+        if (type && type->isString() &&
+            type->stringValue() == "cell") {
+            if (const Json *k = line.find("key"))
+                if (k->isString() &&
+                    resume_done_.count(k->stringValue()) == 0)
+                    seen_.insert(fnv1a64(k->stringValue()));
+        }
+    }
+    appendLine(line);
 }
 
 bool
@@ -404,21 +443,8 @@ Journal::appendCell(const CellResult &r)
     if (resume_done_.count(r.key) == 0)
         seen_.insert(fnv1a64(r.key));
 
-    Json j = Json::object();
+    Json j = cellResultToJson(r);
     j.set("type", Json("cell"));
-    j.set("key", Json(r.key));
-    j.set("verdict", Json(r.verdict()));
-    j.set("hw", Json(r.hw));
-    j.set("races", Json(r.races));
-    j.set("sig", Json(r.outcome_sig));
-    j.set("tick", Json(r.finish_tick));
-    j.set("ms", Json(r.wall_ms));
-    j.set("mat_us", Json(r.mat_us));
-    j.set("run_us", Json(r.run_us));
-    if (r.shrink_us > 0)
-        j.set("shrink_us", Json(r.shrink_us));
-    if (!r.primary_kind.empty())
-        j.set("kind", Json(r.primary_kind));
     appendLine(j);
 }
 

@@ -47,6 +47,16 @@
 
 namespace wo {
 
+/**
+ * The journal line schema version, stamped into every header line
+ * (with the writing build's hardware concurrency) and checked by
+ * load().  A fleet coordinator merges journal records produced by
+ * remote workers, so a version mismatch means records from mixed
+ * builds are being combined -- the reader warns instead of silently
+ * mixing schemas.  Bump on any line-schema change.
+ */
+constexpr std::uint64_t journal_schema_version = 2;
+
 /** One replayed failure record (resume-time state). */
 struct JournalFailure
 {
@@ -162,8 +172,42 @@ class Journal
      *  Single-threaded; call before the fleet starts. */
     void reserveKeys(std::size_t cells);
 
-    /** Append the campaign-config header line. */
+    /**
+     * Append the campaign-config header line.  `schema_version` and
+     * `hw_threads` are stamped automatically (members already present
+     * in @p meta win, which keeps replayed/merged headers verbatim).
+     */
     void writeHeader(Json meta);
+
+    /** The header object load() replayed (null for a fresh journal). */
+    const Json &header() const { return header_; }
+
+    /** The replayed header's schema_version (0 when absent). */
+    std::uint64_t loadedSchemaVersion() const
+    {
+        return loaded_schema_version_;
+    }
+
+    /** Did load() see a header from a different schema version? */
+    bool schemaMismatch() const { return schema_mismatch_; }
+
+    /**
+     * Base-stream indices of replayed cell lines that carried an
+     * "idx" member (fleet journals; single-process lines have none).
+     * A restarted coordinator re-leases exactly the complement.
+     */
+    const std::unordered_set<std::uint64_t> &resumeIndices() const
+    {
+        return resume_idx_;
+    }
+
+    /**
+     * Append an arbitrary journal line (the fleet merge path: the
+     * coordinator forwards cell records it received from workers,
+     * annotated with shard/idx).  A `"type":"cell"` line with a
+     * string "key" marks that key done exactly like appendCell().
+     */
+    void appendJson(Json line);
 
     /**
      * Was @p key journaled (this run or a resumed one)?  Lock-free:
@@ -220,6 +264,10 @@ class Journal
     // Resume state: written by load() single-threaded, immutable and
     // lock-free to read once the fleet is running.
     std::unordered_set<std::string> resume_done_;
+    std::unordered_set<std::uint64_t> resume_idx_;
+    Json header_;
+    std::uint64_t loaded_schema_version_ = 0;
+    bool schema_mismatch_ = false;
     // Keys appended by this run.
     SeenSet seen_;
 

@@ -25,17 +25,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-bool
-violationKindFromName(const std::string &name, ViolationKind &out)
-{
-    for (int k = 0; k < num_violation_kinds; ++k)
-        if (name == violationKindName(static_cast<ViolationKind>(k))) {
-            out = static_cast<ViolationKind>(k);
-            return true;
-        }
-    return false;
-}
-
 /**
  * Per-worker deques with stealing.  A worker pushes and pops its own
  * back (LIFO keeps a bug's freshly-mutated neighborhood hot in cache
@@ -577,7 +566,7 @@ Engine::worker(int w)
         // base coverage -- at least half the budget walks the stream.
         Cell cell;
         const bool frontier =
-            (ticket & 1) &&
+            cfg.frontier && (ticket & 1) &&
             (deques.popLocal(w, cell) || deques.steal(w, cell, rng));
         if (!frontier)
             cell = fuzzer.baseCell(
@@ -593,8 +582,12 @@ Engine::worker(int w)
         ws.classify(run.result);
         ws.lat_ms.push_back(run.result.wall_ms);
         ws.recordLatency(run.result.wall_ms);
+        // Novelty is still tracked with the frontier off (the summary
+        // reports it), but earned mutants go nowhere: no ticket would
+        // ever pop them.
         for (Cell &m : fuzzer.observe(cell, run.result))
-            deques.push(w, std::move(m));
+            if (cfg.frontier)
+                deques.push(w, std::move(m));
         if (run.result.hardwareFailure() && run.program) {
             Timeline::Scope shrink_span(&tl, SpanKind::shrink);
             const auto s0 = Clock::now();

@@ -57,6 +57,15 @@ struct CampaignCfg
         OrderingPolicy::wo_drf0};
     bool shrink = true;           //!< minimize hardware failures
     bool resume = false;          //!< replay the journal, skip done cells
+    /**
+     * Feed novelty-earned mutants back into the fleet (`--no-frontier`
+     * turns it off).  With the frontier off every ticket draws the
+     * deterministic base stream, so the executed cell *set* is a pure
+     * function of (seed, cells) -- the property the distributed fleet
+     * (src/fleet/) shards on, and what makes two runs comparable
+     * cell-for-cell in the verdict-parity tests.
+     */
+    bool frontier = true;
     std::uint64_t seed = 1;       //!< base-stream / mutation seed
     std::uint64_t max_events = 300'000; //!< per-cell livelock budget
     std::uint64_t shrink_max_runs = 500;

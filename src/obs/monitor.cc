@@ -21,6 +21,17 @@ const char *violationKindName(ViolationKind k)
     return "?";
 }
 
+bool
+violationKindFromName(const std::string &name, ViolationKind &out)
+{
+    for (int k = 0; k < num_violation_kinds; ++k)
+        if (name == violationKindName(static_cast<ViolationKind>(k))) {
+            out = static_cast<ViolationKind>(k);
+            return true;
+        }
+    return false;
+}
+
 bool violationBlamesHardware(ViolationKind k)
 {
     return k != ViolationKind::drf0_race;

@@ -68,6 +68,14 @@ enum class ViolationKind : std::uint8_t
 /** Stable printable kind name (stats key / report label). */
 const char *violationKindName(ViolationKind k);
 
+/**
+ * Reverse lookup: true and @p out set when @p name is a kind name.
+ * Journals, fleet messages and shrink requests all carry kinds by
+ * their stable names, so the reverse edge lives next to the forward
+ * one.
+ */
+bool violationKindFromName(const std::string &name, ViolationKind &out);
+
 /** Number of ViolationKind values (for iteration). */
 inline constexpr int num_violation_kinds = 7;
 

@@ -402,6 +402,95 @@ TEST(Journal, GroupCommitIsDurableAfterClose)
         EXPECT_TRUE(j2.done("g" + std::to_string(i))) << i;
 }
 
+TEST(Journal, HeaderStampsSchemaVersionAndHwThreads)
+{
+    const std::string path = testing::TempDir() + "journal_schema.jsonl";
+    std::remove(path.c_str());
+    {
+        Journal j(path);
+        ASSERT_TRUE(j.open(/*fresh=*/true));
+        Json meta = Json::object();
+        meta.set("seed", Json(std::uint64_t{7}));
+        j.writeHeader(std::move(meta));
+    }
+    Journal j2(path);
+    j2.load();
+    EXPECT_EQ(j2.loadedSchemaVersion(), journal_schema_version);
+    EXPECT_FALSE(j2.schemaMismatch());
+    const Json &h = j2.header();
+    ASSERT_TRUE(h.isObject());
+    EXPECT_EQ(h.find("seed")->uintValue(), 7u);
+    EXPECT_EQ(h.find("schema_version")->uintValue(),
+              journal_schema_version);
+    // The run's hardware parallelism, for apples-to-apples perf
+    // comparisons across journals.
+    EXPECT_GE(h.find("hw_threads")->uintValue(), 1u);
+}
+
+TEST(Journal, HeaderMembersAlreadyPresentWin)
+{
+    // Merged/replayed headers are forwarded verbatim: the stamps must
+    // not overwrite members the caller provided.
+    const std::string path = testing::TempDir() + "journal_verb.jsonl";
+    std::remove(path.c_str());
+    {
+        Journal j(path);
+        ASSERT_TRUE(j.open(true));
+        Json meta = Json::object();
+        meta.set("hw_threads", Json(std::uint64_t{99}));
+        j.writeHeader(std::move(meta));
+    }
+    Journal j2(path);
+    j2.load();
+    EXPECT_EQ(j2.header().find("hw_threads")->uintValue(), 99u);
+}
+
+TEST(Journal, SchemaMismatchIsFlaggedButStillReplays)
+{
+    const std::string path = testing::TempDir() + "journal_old.jsonl";
+    FILE *f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"type\":\"campaign\",\"schema_version\":1}\n", f);
+    std::fputs("{\"type\":\"cell\",\"key\":\"old1\"}\n", f);
+    std::fclose(f);
+
+    Journal j(path);
+    j.load(); // warns on the version skew, then replays anyway
+    EXPECT_TRUE(j.schemaMismatch());
+    EXPECT_EQ(j.loadedSchemaVersion(), 1u);
+    EXPECT_TRUE(j.done("old1"));
+}
+
+TEST(Journal, FleetIdxLinesBuildTheResumeIndexSet)
+{
+    const std::string path = testing::TempDir() + "journal_idx.jsonl";
+    std::remove(path.c_str());
+    {
+        Journal j(path);
+        ASSERT_TRUE(j.open(true));
+        j.writeHeader(Json::object());
+        for (std::uint64_t i : {0ull, 3ull, 17ull}) {
+            Json line = Json::object();
+            line.set("type", Json("cell"));
+            line.set("key", Json("k" + std::to_string(i)));
+            line.set("idx", Json(i));
+            j.appendJson(std::move(line));
+        }
+        // A single-process line (no idx) marks its key done but adds
+        // no resume index.
+        CellResult r;
+        r.key = "plain";
+        j.appendCell(r);
+    }
+    Journal j2(path);
+    j2.load();
+    EXPECT_EQ(j2.doneCells(), 4u);
+    const auto &idx = j2.resumeIndices();
+    EXPECT_EQ(idx.size(), 3u);
+    EXPECT_TRUE(idx.count(0) && idx.count(3) && idx.count(17));
+    EXPECT_TRUE(j2.done("plain"));
+}
+
 // -------------------------------------------------------- the shrinker
 
 /** The seeded-fault witness from the monitor suite, plus dead weight

@@ -59,6 +59,14 @@
  *         BENCH_*.json artifacts into one self-contained static
  *         report.html (inline CSS/JS, embedded hb witness SVGs).
  *
+ *     wotool serve [--port N] [--addr A] [--out-dir DIR] [...]
+ *     wotool worker --connect host:port [--jobs N] [...]
+ *     wotool submit --connect host:port [--cells N] [...]
+ *         The distributed fleet (src/fleet/, docs/FLEET.md): serve
+ *         runs the long-lived coordinator, worker lends a process to
+ *         it, submit enqueues a campaign against the warm fleet and
+ *         exits with its verdict.
+ *
  *     wotool disasm  <file>
  *         Parse and print back (normalizes labels/locations).
  *
@@ -68,6 +76,7 @@
  * See src/asm/assembler.hh for the input grammar.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +88,10 @@
 
 #include "asm/assembler.hh"
 #include "campaign/scheduler.hh"
+#include "fleet/client.hh"
+#include "fleet/coordinator.hh"
+#include "fleet/proto.hh"
+#include "fleet/worker.hh"
 #include "core/drf0_checker.hh"
 #include "core/lockset.hh"
 #include "core/weak_ordering.hh"
@@ -156,6 +169,83 @@ flag(int argc, char **argv, const char *name)
         if (!std::strcmp(argv[i], name))
             return true;
     return false;
+}
+
+/**
+ * Uniform bad-option diagnostic: every malformed value exits 2 the
+ * same way, with a pointer at the usage text, no matter which
+ * subcommand it came from.
+ */
+bool
+badOpt(const char *name, const char *wanted, const char *got)
+{
+    std::fprintf(stderr,
+                 "wotool: %s wants %s, got '%s'\n"
+                 "        (run wotool with no arguments for usage)\n",
+                 name, wanted, got);
+    return false;
+}
+
+/** Strict unsigned option: whole-string numeric and >= @p min. */
+bool
+parseU64Opt(int argc, char **argv, const char *name, std::uint64_t min,
+            std::uint64_t &out)
+{
+    const char *v = opt(argc, argv, name);
+    if (!v)
+        return true;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long x = std::strtoull(v, &end, 0);
+    if (end == v || *end || errno == ERANGE || x < min)
+        return badOpt(name,
+                      min > 0 ? "a positive integer" : "an integer", v);
+    out = x;
+    return true;
+}
+
+/** Strict int option (worker/job counts). */
+bool
+parseIntOpt(int argc, char **argv, const char *name, int min, int &out)
+{
+    std::uint64_t x = static_cast<std::uint64_t>(out);
+    if (!parseU64Opt(argc, argv, name,
+                     static_cast<std::uint64_t>(min), x))
+        return false;
+    if (x > 1'000'000)
+        return badOpt(name, "a sane count", opt(argc, argv, name));
+    out = static_cast<int>(x);
+    return true;
+}
+
+/** Strict non-negative double option (time budgets). */
+bool
+parseDoubleOpt(int argc, char **argv, const char *name, double &out)
+{
+    const char *v = opt(argc, argv, name);
+    if (!v)
+        return true;
+    char *end = nullptr;
+    const double x = std::strtod(v, &end);
+    if (end == v || *end || !(x >= 0))
+        return badOpt(name, "a non-negative number", v);
+    out = x;
+    return true;
+}
+
+/** Strict --connect host:port (required for worker/submit). */
+bool
+parseConnectOpt(int argc, char **argv, HostPort &out)
+{
+    const char *v = opt(argc, argv, "--connect");
+    if (!v) {
+        badOpt("--connect", "host:port", "(missing)");
+        return false;
+    }
+    if (!parseHostPort(v, out))
+        return badOpt("--connect", "host:port with a port in 1..65535",
+                      v);
+    return true;
 }
 
 int
@@ -668,43 +758,20 @@ int
 cmdCampaign(const AsmResult *, int argc, char **argv)
 {
     CampaignCfg cfg;
-    if (const char *v = opt(argc, argv, "--jobs")) {
-        cfg.jobs = static_cast<int>(std::strtol(v, nullptr, 0));
-        if (cfg.jobs < 1) {
-            std::fprintf(stderr, "--jobs must be positive\n");
-            return 2;
-        }
-    }
-    if (const char *v = opt(argc, argv, "--cells")) {
-        cfg.cells = std::strtoull(v, nullptr, 0);
-        if (cfg.cells == 0) {
-            std::fprintf(stderr, "--cells must be positive\n");
-            return 2;
-        }
-    }
-    if (const char *v = opt(argc, argv, "--time-budget"))
-        cfg.time_budget_s = std::strtod(v, nullptr);
+    if (!parseIntOpt(argc, argv, "--jobs", 1, cfg.jobs) ||
+        !parseU64Opt(argc, argv, "--cells", 1, cfg.cells) ||
+        !parseDoubleOpt(argc, argv, "--time-budget",
+                        cfg.time_budget_s) ||
+        !parseU64Opt(argc, argv, "--seed", 0, cfg.seed) ||
+        !parseU64Opt(argc, argv, "--max-events", 1, cfg.max_events) ||
+        !parseU64Opt(argc, argv, "--sync-every", 1, cfg.sync_every) ||
+        !parseU64Opt(argc, argv, "--shrink-max-runs", 1,
+                     cfg.shrink_max_runs))
+        return 2;
     if (const char *v = opt(argc, argv, "--out-dir"))
         cfg.out_dir = v;
     if (const char *v = opt(argc, argv, "--journal"))
         cfg.journal_path = v;
-    if (const char *v = opt(argc, argv, "--seed"))
-        cfg.seed = std::strtoull(v, nullptr, 0);
-    if (const char *v = opt(argc, argv, "--max-events")) {
-        cfg.max_events = std::strtoull(v, nullptr, 0);
-        if (cfg.max_events == 0) {
-            std::fprintf(stderr, "--max-events must be positive\n");
-            return 2;
-        }
-    }
-    if (const char *v = opt(argc, argv, "--sync-every")) {
-        cfg.sync_every = std::strtoull(v, nullptr, 0);
-        if (cfg.sync_every == 0) {
-            std::fprintf(stderr, "--sync-every must be positive "
-                                 "(1 = flush per cell)\n");
-            return 2;
-        }
-    }
     if (const char *v = opt(argc, argv, "--policy")) {
         cfg.policies.clear();
         for (const auto &name : splitCommas(v)) {
@@ -724,6 +791,7 @@ cmdCampaign(const AsmResult *, int argc, char **argv)
     if (const char *v = opt(argc, argv, "--programs"))
         cfg.program_files = splitCommas(v);
     cfg.shrink = !flag(argc, argv, "--no-shrink");
+    cfg.frontier = !flag(argc, argv, "--no-frontier");
     cfg.resume = flag(argc, argv, "--resume");
     cfg.inject_reserve_bug = flag(argc, argv, "--inject-reserve-bug");
     cfg.legacy_queue = flag(argc, argv, "--legacy-queue");
@@ -793,6 +861,149 @@ cmdReport(const AsmResult *, int argc, char **argv)
     }
     std::printf("wrote campaign report to %s\n", path.c_str());
     return 0;
+}
+
+// --- the distributed fleet (src/fleet/, docs/FLEET.md) ---------------
+
+int
+cmdServe(const AsmResult *, int argc, char **argv)
+{
+    CoordinatorCfg cfg;
+    std::uint64_t port = 0;
+    int lease_timeout = cfg.lease_timeout_ms;
+    if (!parseU64Opt(argc, argv, "--port", 0, port) ||
+        !parseU64Opt(argc, argv, "--shard-size", 1, cfg.shard_size) ||
+        !parseIntOpt(argc, argv, "--lease-timeout", 1, lease_timeout) ||
+        !parseIntOpt(argc, argv, "--max-outstanding", 1,
+                     cfg.max_outstanding) ||
+        !parseU64Opt(argc, argv, "--sync-every", 1, cfg.sync_every) ||
+        !parseIntOpt(argc, argv, "--max-campaigns", 0,
+                     cfg.max_campaigns))
+        return 2;
+    if (port > 65535) {
+        badOpt("--port", "a port in 0..65535 (0 = ephemeral)",
+               opt(argc, argv, "--port"));
+        return 2;
+    }
+    cfg.port = static_cast<std::uint16_t>(port);
+    cfg.lease_timeout_ms = lease_timeout;
+    if (const char *v = opt(argc, argv, "--addr"))
+        cfg.addr = v;
+    if (const char *v = opt(argc, argv, "--out-dir"))
+        cfg.out_dir = v;
+    cfg.resume = flag(argc, argv, "--resume");
+    cfg.verbose = flag(argc, argv, "--verbose");
+
+    std::unique_ptr<HttpServer> server;
+    if (opt(argc, argv, "--serve-port")) {
+        HttpServerCfg scfg;
+        if (!parseServeOpts(argc, argv, scfg))
+            return 2;
+        server = std::make_unique<HttpServer>(scfg);
+        if (!server->start()) {
+            std::fprintf(stderr, "cannot start control plane: %s\n",
+                         server->lastError().c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "[serve] control plane on http://%s:%u "
+                     "(/healthz /metrics /progress)\n",
+                     scfg.addr.c_str(), server->port());
+        cfg.serve = server.get();
+    }
+
+    Coordinator coord(cfg);
+    if (!coord.start()) {
+        std::fprintf(stderr, "serve: %s\n", coord.lastError().c_str());
+        return 2;
+    }
+    // Scripts (and the CI smoke job) discover an ephemeral port here.
+    writeFile(cfg.out_dir + "/serve.port",
+              strprintf("%u\n", coord.port()));
+    std::fprintf(stderr,
+                 "[serve] fleet coordinator on %s:%u (out-dir %s)\n",
+                 cfg.addr.c_str(), coord.port(), cfg.out_dir.c_str());
+    coord.waitDone();
+    coord.stop();
+    std::fprintf(stderr, "[serve] done: %d campaign(s) completed\n",
+                 coord.campaignsCompleted());
+    return 0;
+}
+
+int
+cmdWorker(const AsmResult *, int argc, char **argv)
+{
+    WorkerCfg cfg;
+    if (!parseConnectOpt(argc, argv, cfg.connect) ||
+        !parseIntOpt(argc, argv, "--jobs", 1, cfg.jobs) ||
+        !parseIntOpt(argc, argv, "--heartbeat-ms", 1, cfg.heartbeat_ms))
+        return 2;
+    if (const char *v = opt(argc, argv, "--name"))
+        cfg.name = v;
+    cfg.verbose = !flag(argc, argv, "--quiet");
+
+    FleetWorker worker(cfg);
+    if (!worker.connectAndRun()) {
+        std::fprintf(stderr, "worker: %s\n",
+                     worker.lastError().c_str());
+        return 1;
+    }
+    return 0;
+}
+
+/** The portable campaign-spec options shared by submit (and only it:
+ *  serve owns no spec, leases carry one verbatim). */
+bool
+parseFleetSpec(int argc, char **argv, FleetCampaignSpec &spec)
+{
+    if (!parseU64Opt(argc, argv, "--cells", 1, spec.cells) ||
+        !parseU64Opt(argc, argv, "--seed", 0, spec.seed) ||
+        !parseU64Opt(argc, argv, "--max-events", 1, spec.max_events) ||
+        !parseU64Opt(argc, argv, "--shrink-max-runs", 1,
+                     spec.shrink_max_runs))
+        return false;
+    if (const char *v = opt(argc, argv, "--policy")) {
+        spec.policies.clear();
+        for (const auto &name : splitCommas(v)) {
+            OrderingPolicy p;
+            if (!parsePolicyName(name, p))
+                return badOpt("--policy",
+                              "a comma list of sc|def1|drf0|drf0ro",
+                              name.c_str());
+            spec.policies.push_back(p);
+        }
+        if (spec.policies.empty())
+            return badOpt("--policy", "at least one policy name", v);
+    }
+    if (const char *v = opt(argc, argv, "--programs"))
+        spec.program_files = splitCommas(v);
+    spec.shrink = !flag(argc, argv, "--no-shrink");
+    spec.inject_reserve_bug = flag(argc, argv, "--inject-reserve-bug");
+    return true;
+}
+
+int
+cmdSubmit(const AsmResult *, int argc, char **argv)
+{
+    SubmitCfg cfg;
+    if (!parseConnectOpt(argc, argv, cfg.connect) ||
+        !parseFleetSpec(argc, argv, cfg.spec))
+        return 2;
+    int idle_timeout = 0;
+    if (!parseIntOpt(argc, argv, "--idle-timeout", 1, idle_timeout))
+        return 2;
+    cfg.idle_timeout_ms = idle_timeout;
+    cfg.quiet = flag(argc, argv, "--quiet");
+
+    SubmitResult r = submitCampaign(cfg);
+    if (!r.ok) {
+        std::fprintf(stderr, "submit: %s\n", r.error.c_str());
+        return 2;
+    }
+    std::printf("%s\n", r.summary.dump(1).c_str());
+    // Same verdict contract as `wotool campaign`: nonzero iff the
+    // hardware was caught misbehaving.
+    return r.hardware_clean ? 0 : 1;
 }
 
 // --- uniform-signature wrappers for the command table ----------------
@@ -905,7 +1116,8 @@ const Command commands[] = {
      "  campaign [--jobs N] [--cells N] [--time-budget SECS]\n"
      "           [--out-dir DIR] [--journal F] [--resume]\n"
      "           [--policy sc,def1,drf0,...] [--programs F1,F2,...]\n"
-     "           [--seed N] [--no-shrink] [--max-events N]\n"
+     "           [--seed N] [--no-shrink] [--shrink-max-runs N]\n"
+     "           [--no-frontier] [--max-events N]\n"
      "           [--sync-every N] [--inject-reserve-bug]\n"
      "           [--legacy-queue]\n"
      "           [--profile] [--profile-hz N] [--profile-out F]\n"
@@ -914,7 +1126,31 @@ const Command commands[] = {
      "           survived shrinking; --profile writes folded stacks +\n"
      "           a per-worker Chrome trace under --out-dir;\n"
      "           --serve-port exposes the live /healthz /metrics\n"
-     "           /progress /events control plane)\n"},
+     "           /progress /events control plane; --no-frontier runs\n"
+     "           the deterministic base stream only)\n"},
+    {"serve", false, cmdServe,
+     "  serve [--port N] [--addr A] [--out-dir DIR] [--shard-size N]\n"
+     "        [--lease-timeout MS] [--max-outstanding N]\n"
+     "        [--sync-every N] [--resume] [--max-campaigns N]\n"
+     "        [--serve-port N] [--serve-addr A] [--verbose]\n"
+     "        (long-running fleet coordinator; shards submitted\n"
+     "        campaigns into worker leases, merges one crash-safe\n"
+     "        journal per campaign under --out-dir, writes the bound\n"
+     "        port to <out-dir>/serve.port; --resume re-leases only\n"
+     "        the unjournaled cells; see docs/FLEET.md)\n"},
+    {"worker", false, cmdWorker,
+     "  worker --connect host:port [--name S] [--jobs N]\n"
+     "         [--heartbeat-ms N] [--quiet]\n"
+     "         (lend this process to a fleet: runs leased cells,\n"
+     "         shrinks failures locally, streams results back)\n"},
+    {"submit", false, cmdSubmit,
+     "  submit --connect host:port [--cells N] [--seed N]\n"
+     "         [--policy sc,def1,drf0,...] [--programs F1,F2,...]\n"
+     "         [--max-events N] [--no-shrink] [--shrink-max-runs N]\n"
+     "         [--inject-reserve-bug] [--idle-timeout MS] [--quiet]\n"
+     "         (enqueue a campaign on a warm fleet, stream progress,\n"
+     "         exit with the campaign verdict: 1 iff a hardware\n"
+     "         violation was found)\n"},
     {"report", false, cmdReport,
      "  report <out-dir> [--out F] [--title T] [--bench F1,F2,...]\n"
      "         (merge the campaign journal, evidence bundles and\n"
