@@ -25,6 +25,10 @@ GATED = [
     ("BENCH_kernel.json", "ticks_per_sec", "kernel ticks/sec"),
     ("BENCH_fleet.json", "workers1_cells_per_sec",
      "fleet cells/sec (1 worker)"),
+    ("BENCH_explore.json", "dpor_states_per_sec",
+     "explore DPOR states/sec"),
+    ("BENCH_explore.json", "dpor_reduction_ratio",
+     "explore DPOR reduction ratio (BFS/DPOR states)"),
 ]
 
 

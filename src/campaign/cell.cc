@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "campaign/verify.hh"
 #include "common/logging.hh"
 #include "obs/timeline.hh"
 #include "program/litmus.hh"
@@ -93,6 +94,15 @@ sourceTag(const Cell &c)
 std::string
 Cell::key() const
 {
+    // Verify cells are untimed: program x model identifies the work,
+    // so the timing coordinates stay out of the key and a resumed (or
+    // over-long) stream skips repeats instead of re-checking them.
+    if (kind == CellKind::verify) {
+        std::string k = programId();
+        if (inject_axiom_bug)
+            k += "|ABUG";
+        return k;
+    }
     std::string k = programId() +
                     strprintf("|n%llu|h%llu|j%llu",
                               static_cast<unsigned long long>(net_seed),
@@ -106,6 +116,8 @@ Cell::key() const
 std::string
 Cell::programId() const
 {
+    if (kind == CellKind::verify)
+        return "verify:" + sourceTag(*this) + "|" + sanitizeSpec(model);
     return sourceTag(*this) + "|" + policyFlagName(policy);
 }
 
@@ -239,6 +251,10 @@ CellResult::verdict() const
                                              : primary_kind);
     if (!completed && primary_kind == "materialize_error")
         return "error";
+    if (inconclusive)
+        return "inconclusive";
+    if (nonsc)
+        return "nonsc";
     if (deadlocked)
         return "deadlock";
     if (livelocked)
@@ -265,6 +281,14 @@ cellResultToJson(const CellResult &r)
         j.set("shrink_us", Json(r.shrink_us));
     if (!r.primary_kind.empty())
         j.set("kind", Json(r.primary_kind));
+    if (r.inconclusive)
+        j.set("inconclusive", Json(true));
+    if (r.nonsc)
+        j.set("nonsc", Json(true));
+    if (r.dpor_states > 0 || r.bfs_states > 0) {
+        j.set("dpor_states", Json(r.dpor_states));
+        j.set("bfs_states", Json(r.bfs_states));
+    }
     return j;
 }
 
@@ -295,6 +319,44 @@ runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
     }
     run.program = std::move(m.program);
     run.warm = std::move(m.warm);
+
+    if (cell.kind == CellKind::verify) {
+        // The dual-engine judge replaces the timed simulation.  Warm
+        // directives are a timed-system concern; exploration always
+        // starts from the zeroed initial image.
+        Timeline::Scope verify_span(tl, SpanKind::run);
+        const auto t0 = std::chrono::steady_clock::now();
+        VerifyCfg vcfg;
+        vcfg.max_states = cell.max_states;
+        vcfg.axiom.inject_bug = cell.inject_axiom_bug;
+        VerifyResult v =
+            verifyProgramOnModel(*run.program, cell.model, vcfg);
+        r.wall_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+        r.run_us = static_cast<std::uint64_t>(r.wall_ms * 1000.0);
+
+        r.completed = true;
+        r.inconclusive = v.inconclusive;
+        r.nonsc = v.nonsc;
+        r.dpor_states = v.dpor.states;
+        r.bfs_states = v.bfs.states;
+        if (v.has_violation) {
+            r.hw = 1;
+            r.total = 1;
+            r.by_kind[static_cast<int>(v.kind)] = 1;
+            r.primary_kind = violationKindName(v.kind);
+        }
+        // The outcome signature hashes the hardware outcome set, so
+        // the frontier's novelty tracking sees outcome-set changes
+        // across program shapes exactly like it does for run cells.
+        std::string sig_src;
+        for (const auto &o : v.dpor.outcomes)
+            sig_src += o.toString() + "\n";
+        r.outcome_sig = fnv1aHex(sig_src);
+        run.verify_detail = v.detail();
+        return run;
+    }
 
     Timeline::Scope run_span(tl, SpanKind::run);
     const auto t0 = std::chrono::steady_clock::now();

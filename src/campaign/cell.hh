@@ -43,9 +43,23 @@ enum class CellSource : std::uint8_t
     racy_rand, //!< randomRacyProgram(racy)
 };
 
+/**
+ * What a cell does with its program.  A *run* cell executes one timed
+ * simulation under the online monitor; a *verify* cell model-checks the
+ * program on an abstract model with the dual-engine judge (campaign/
+ * verify.hh): DPOR vs BFS, axiomatic vs operational SC, and the
+ * Definition-2 subset claim.
+ */
+enum class CellKind : std::uint8_t
+{
+    run,
+    verify,
+};
+
 /** One unit of campaign work. */
 struct Cell
 {
+    CellKind kind = CellKind::run;
     CellSource source = CellSource::litmus;
     std::string spec;           //!< file path or litmus corpus name
     Drf0WorkloadCfg drf0;       //!< shape when source == drf0_rand
@@ -55,6 +69,13 @@ struct Cell
     Tick hop = 10;              //!< network hop latency
     Tick jitter = 0;            //!< network jitter bound
     bool inject_reserve_bug = false; //!< seeded fault campaigns
+
+    // Verify-cell coordinates (ignored by run cells).  Timing fields
+    // above do not enter a verify key: exploration is untimed, so a
+    // verify cell is identified by program x model alone.
+    std::string model = "drf0";         //!< model flag name under check
+    std::uint64_t max_states = 200'000; //!< per-engine state budget
+    bool inject_axiom_bug = false;      //!< seeded divergence campaigns
 
     /**
      * The stable journal/dedup key, e.g.
@@ -166,6 +187,12 @@ struct CellResult
     Tick finish_tick = 0;
     double wall_ms = 0;       //!< host wall-clock cost of the cell
 
+    // Verify-cell results (always false/zero for run cells).
+    bool inconclusive = false; //!< an engine budget tripped: no verdict
+    bool nonsc = false;        //!< hw escaped SC (expected, not a failure)
+    std::uint64_t dpor_states = 0; //!< reduced-engine states visited
+    std::uint64_t bfs_states = 0;  //!< reference-engine states visited
+
     // Host-time span decomposition, journaled per cell so post-hoc
     // tooling (wotool report) can break a campaign's wall clock down
     // without the profiler on.  shrink_us is stamped by the campaign
@@ -177,7 +204,10 @@ struct CellResult
     /** Did the hardware break the Definition-2 contract? */
     bool hardwareFailure() const { return hw > 0; }
 
-    /** "clean" | "race" | "hw:<kind>" | "deadlock" | "livelock". */
+    /**
+     * "clean" | "race" | "hw:<kind>" | "deadlock" | "livelock" |
+     * "error"; verify cells add "inconclusive" and "nonsc".
+     */
     std::string verdict() const;
 };
 
@@ -190,16 +220,18 @@ struct CellResult
 Json cellResultToJson(const CellResult &r);
 
 /**
- * Run one cell to a verdict: materialize, simulate under the online
- * monitor, reduce.  Materialization errors surface as a failed cell
- * with verdict "deadlock" never -- they produce hw == 0, completed ==
- * false and primary_kind == "materialize_error".
+ * Run one cell to a verdict: materialize, then either simulate under
+ * the online monitor (run cells) or judge with the dual-engine
+ * verifier (verify cells), and reduce.  Materialization errors surface
+ * as a failed cell with verdict "deadlock" never -- they produce hw ==
+ * 0, completed == false and primary_kind == "materialize_error".
  */
 struct CellRun
 {
     CellResult result;
     std::optional<Program> program; //!< kept for the shrinker
     std::vector<WarmTerm> warm;
+    std::string verify_detail; //!< verify cells: the evidence report
 };
 
 CellRun runCell(const Cell &cell, std::uint64_t max_events,

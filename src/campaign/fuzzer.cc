@@ -1,6 +1,7 @@
 #include "fuzzer.hh"
 
 #include "common/random.hh"
+#include "models/model_registry.hh"
 
 namespace wo {
 
@@ -32,6 +33,8 @@ fnv64(const std::string &text)
 
 Fuzzer::Fuzzer(const FuzzerCfg &cfg) : cfg_(cfg)
 {
+    if (cfg_.verify && cfg_.verify_models.empty())
+        cfg_.verify_models = modelNames();
     for (const auto &e : litmusCorpus()) {
         Cell c;
         c.source = CellSource::litmus;
@@ -60,11 +63,6 @@ Fuzzer::baseCell(std::uint64_t index) const
 {
     const std::uint64_t h = mix64(cfg_.seed * 0x51ed2701u + index);
     Cell cell = prototypes_[index % prototypes_.size()];
-    cell.policy = cfg_.policies[(index / prototypes_.size()) %
-                                cfg_.policies.size()];
-    cell.net_seed = (h % 1024) + 1;
-    cell.jitter = (h >> 10) % 4;
-    cell.hop = 3 + (h >> 12) % 3; // small hops keep cells fast
     cell.inject_reserve_bug = cfg_.inject_reserve_bug;
     if (cell.source == CellSource::drf0_rand) {
         cell.drf0.seed = h | 1;
@@ -75,6 +73,23 @@ Fuzzer::baseCell(std::uint64_t index) const
         cell.racy.procs = 2 + (h >> 16) % 2;
         cell.racy.ops_per_thread = 2 + (h >> 20) % 3;
     }
+    if (cfg_.verify) {
+        // Verify streams cross program x model; keys carry no timing
+        // coordinates, so deterministic sources repeat after nproto x
+        // nmodels indices and the journal's seen set skips the repeats
+        // (random sources re-seed per index and never repeat).
+        cell.kind = CellKind::verify;
+        cell.model = cfg_.verify_models[(index / prototypes_.size()) %
+                                        cfg_.verify_models.size()];
+        cell.max_states = cfg_.max_states;
+        cell.inject_axiom_bug = cfg_.inject_axiom_bug;
+        return cell;
+    }
+    cell.policy = cfg_.policies[(index / prototypes_.size()) %
+                                cfg_.policies.size()];
+    cell.net_seed = (h % 1024) + 1;
+    cell.jitter = (h >> 10) % 4;
+    cell.hop = 3 + (h >> 12) % 3; // small hops keep cells fast
     return cell;
 }
 
@@ -110,6 +125,29 @@ Fuzzer::observe(const Cell &cell, const CellResult &r)
     // equal neighborhoods no matter which worker observed them.
     Rng rng(mix64(cfg_.seed ^ fnv64(r.key)));
     std::vector<Cell> mutants;
+
+    if (cell.kind == CellKind::verify) {
+        // Verify keys ignore timing and policy, so the only mutations
+        // that produce new work are program-shape ones: random sources
+        // breed re-shaped draws, deterministic sources have no
+        // neighborhood.
+        if (cell.source != CellSource::drf0_rand &&
+            cell.source != CellSource::racy_rand)
+            return {};
+        for (int i = 0; i < energy; ++i) {
+            Cell m = cell;
+            if (m.source == CellSource::drf0_rand) {
+                m.drf0 = mutateDrf0Cfg(m.drf0, rng);
+                m.drf0.seed = rng.below(1u << 30) | 1;
+            } else {
+                m.racy = mutateRacyCfg(m.racy, rng);
+                m.racy.seed = rng.below(1u << 30) | 1;
+            }
+            mutants.push_back(std::move(m));
+        }
+        return mutants;
+    }
+
     for (int i = 0; i < energy; ++i) {
         Cell m = cell;
         switch (rng.below(4)) {

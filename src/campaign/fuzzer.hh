@@ -39,6 +39,17 @@ struct FuzzerCfg
         OrderingPolicy::wo_drf0};
     std::vector<std::string> program_files; //!< extra .wo corpus
     bool inject_reserve_bug = false;        //!< propagate to every cell
+
+    /**
+     * Verify mode: the base stream enumerates verify cells (program x
+     * model with the dual-engine judge) instead of run cells (program
+     * x policy x timing).
+     */
+    bool verify = false;
+    /** Models verify cells cross with; empty = every registered one. */
+    std::vector<std::string> verify_models;
+    std::uint64_t max_states = 200'000; //!< per-engine verify budget
+    bool inject_axiom_bug = false;      //!< propagate to verify cells
 };
 
 /** The frontier: deterministic base stream + novelty-guided mutation. */

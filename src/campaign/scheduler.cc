@@ -12,6 +12,7 @@
 
 #include "campaign/journal.hh"
 #include "campaign/shrink.hh"
+#include "campaign/verify.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "obs/artifact.hh"
@@ -137,6 +138,8 @@ struct alignas(64) WorkerStats
     std::uint64_t deadlocked = 0;
     std::uint64_t livelocked = 0;
     std::uint64_t errors = 0;
+    std::uint64_t inconclusive = 0;
+    std::uint64_t nonsc = 0;
     std::uint64_t by_kind[num_violation_kinds] = {};
     std::vector<double> lat_ms;           //!< per-cell wall time
     std::map<std::string, FailureRecord> first_failures; //!< staged
@@ -150,6 +153,10 @@ struct alignas(64) WorkerStats
             ++errors;
         else if (r.hardwareFailure())
             hw.fetch_add(1, std::memory_order_relaxed);
+        else if (r.inconclusive)
+            ++inconclusive;
+        else if (r.nonsc)
+            ++nonsc;
         else if (r.deadlocked)
             ++deadlocked;
         else if (r.livelocked)
@@ -178,7 +185,9 @@ struct Engine
     explicit Engine(const CampaignCfg &c)
         : cfg(c),
           fuzzer(FuzzerCfg{c.seed, c.policies, c.program_files,
-                           c.inject_reserve_bug}),
+                           c.inject_reserve_bug, c.verify,
+                           c.verify_models, c.max_states,
+                           c.inject_axiom_bug}),
           lanes(new Timeline[static_cast<std::size_t>(c.jobs) + 1]),
           journal(c.journal_path,
                   JournalCfg{c.sync_every, c.flush_interval_ms,
@@ -488,10 +497,22 @@ Engine::handleFailure(int w, const Cell &cell, CellRun &run)
     // With shrinking off the single permitted run just confirms the
     // reproduction and renders the unreduced .wo text.
     scfg.max_runs = cfg.shrink ? cfg.shrink_max_runs : 1;
+    const bool is_verify = cell.kind == CellKind::verify;
+    VerifyCfg vcfg;
+    vcfg.max_states = cell.max_states;
+    vcfg.axiom.inject_bug = cell.inject_axiom_bug;
     ShrinkOutcome s =
-        shrinkCounterexample(*run.program, run.warm,
-                             cell.systemCfg(cfg.max_events, queueKind()), kind,
-                             scfg);
+        is_verify
+            ? shrinkCounterexample(
+                  *run.program, run.warm,
+                  [&](const Program &p, const std::vector<WarmTerm> &) {
+                      return verifyReproduces(p, cell.model, kind, vcfg);
+                  },
+                  scfg)
+            : shrinkCounterexample(
+                  *run.program, run.warm,
+                  cell.systemCfg(cfg.max_events, queueKind()), kind,
+                  scfg);
 
     const std::string hash = fnv1aHex(s.wo_text).substr(0, 12);
     const std::string dedup = run.result.primary_kind + ":" + hash;
@@ -508,15 +529,25 @@ Engine::handleFailure(int w, const Cell &cell, CellRun &run)
 
     unique_failures.fetch_add(1, std::memory_order_relaxed);
     writeFile(wo_path, s.wo_text);
-    // The evidence bundle: re-run the minimum with the flight
-    // recorder on and the failure dump pointed into the out dir.
-    SystemCfg ev = cell.systemCfg(cfg.max_events, queueKind());
-    ev.flight_recorder = true;
-    ev.dump_on_fail = stem;
-    System sys(*s.program, ev);
-    for (const auto &wt : s.warm)
-        sys.warmShared(wt.addr, wt.procs);
-    sys.run();
+    if (is_verify) {
+        // The evidence bundle of an engine disagreement: re-judge the
+        // minimum and write the outcome-set diff report next to the
+        // reproducer (a flight-recorder replay would only show one
+        // timed run, which is not what disagreed).
+        VerifyResult ev =
+            verifyProgramOnModel(*s.program, cell.model, vcfg);
+        writeFile(stem + ".verify.txt", ev.detail());
+    } else {
+        // The evidence bundle: re-run the minimum with the flight
+        // recorder on and the failure dump pointed into the out dir.
+        SystemCfg ev = cell.systemCfg(cfg.max_events, queueKind());
+        ev.flight_recorder = true;
+        ev.dump_on_fail = stem;
+        System sys(*s.program, ev);
+        for (const auto &wt : s.warm)
+            sys.warmShared(wt.addr, wt.procs);
+        sys.run();
+    }
 
     // Shrink provenance is staged on the observing worker and merged
     // at join -- exactly one worker sees first==true per dedup key, so
@@ -648,6 +679,16 @@ runCampaign(const CampaignCfg &user_cfg)
         meta.set("sync_every", Json(cfg.sync_every));
         if (cfg.inject_reserve_bug)
             meta.set("inject_reserve_bug", Json(true));
+        if (cfg.verify) {
+            meta.set("verify", Json(true));
+            std::string models;
+            for (const std::string &m : cfg.verify_models)
+                models += std::string(models.empty() ? "" : ",") + m;
+            meta.set("verify_models", Json(models));
+            meta.set("max_states", Json(cfg.max_states));
+            if (cfg.inject_axiom_bug)
+                meta.set("inject_axiom_bug", Json(true));
+        }
         eng.journal.writeHeader(std::move(meta));
     }
 
@@ -750,6 +791,8 @@ runCampaign(const CampaignCfg &user_cfg)
         sum.deadlocked += ws.deadlocked;
         sum.livelocked += ws.livelocked;
         sum.errors += ws.errors;
+        sum.inconclusive += ws.inconclusive;
+        sum.nonsc += ws.nonsc;
         for (int k = 0; k < num_violation_kinds; ++k)
             sum.by_kind[k] += ws.by_kind[k];
         lat.insert(lat.end(), ws.lat_ms.begin(), ws.lat_ms.end());
@@ -851,6 +894,12 @@ CampaignSummary::table() const
         static_cast<unsigned long long>(deadlocked),
         static_cast<unsigned long long>(livelocked),
         static_cast<unsigned long long>(errors));
+    if (inconclusive > 0 || nonsc > 0)
+        out += strprintf(
+            "verify: %llu inconclusive (budget-tripped), %llu non-SC "
+            "(expected on counterexample machines)\n",
+            static_cast<unsigned long long>(inconclusive),
+            static_cast<unsigned long long>(nonsc));
     for (const LaneSummary &l : lanes) {
         if (l.wall_ms <= 0)
             continue;
@@ -915,6 +964,8 @@ CampaignSummary::toJson() const
     j.set("deadlock", Json(deadlocked));
     j.set("livelock", Json(livelocked));
     j.set("error", Json(errors));
+    j.set("inconclusive", Json(inconclusive));
+    j.set("nonsc", Json(nonsc));
     j.set("novelty", Json(novelty));
     j.set("wall_s", Json(wall_s));
     j.set("cells_per_sec", Json(cells_per_sec));

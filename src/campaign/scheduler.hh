@@ -70,6 +70,20 @@ struct CampaignCfg
     std::uint64_t max_events = 300'000; //!< per-cell livelock budget
     std::uint64_t shrink_max_runs = 500;
     bool inject_reserve_bug = false; //!< seeded-fault campaign
+    /**
+     * Verify campaign (`--verify`): cells model-check programs with
+     * the dual-engine judge (campaign/verify.hh) instead of running
+     * timed simulations.  Engine disagreements and broken Definition-2
+     * subset claims become shrunk, auto-filed reproducers through the
+     * same failure pipeline as monitor findings.
+     */
+    bool verify = false;
+    /** Models verify cells check; empty = every registered model. */
+    std::vector<std::string> verify_models;
+    /** Per-engine state budget of each verify cell. */
+    std::uint64_t max_states = 200'000;
+    /** Seeded axiomatic-evaluator fault (cross-check path exercise). */
+    bool inject_axiom_bug = false;
     bool progress = false;        //!< live progress line on stderr
     /** Run cells on the legacy heap kernel (A/B cross-checking). */
     bool legacy_queue = false;
@@ -129,6 +143,8 @@ struct CampaignSummary
     std::uint64_t deadlocked = 0;
     std::uint64_t livelocked = 0;
     std::uint64_t errors = 0;  //!< cells whose program failed to build
+    std::uint64_t inconclusive = 0; //!< verify cells without a verdict
+    std::uint64_t nonsc = 0;   //!< verify cells: hw escaped SC (expected)
     std::uint64_t by_kind[num_violation_kinds] = {};
     std::uint64_t novelty = 0; //!< fuzz-frontier discoveries
     std::vector<FailureRecord> failures; //!< deduplicated

@@ -220,7 +220,7 @@ renderWo(const Program &prog, const std::vector<WarmTerm> &warm)
 ShrinkOutcome
 shrinkCounterexample(const Program &prog,
                      const std::vector<WarmTerm> &warm,
-                     const SystemCfg &sys_cfg, ViolationKind kind,
+                     const ShrinkPredicate &still_fails,
                      const ShrinkCfg &cfg)
 {
     ShrinkOutcome out;
@@ -231,7 +231,7 @@ shrinkCounterexample(const Program &prog,
         if (out.runs >= cfg.max_runs || !valid(c))
             return false;
         ++out.runs;
-        return reproducesViolation(toProgram(c), c.warm, sys_cfg, kind);
+        return still_fails(toProgram(c), c.warm);
     };
 
     out.reproduced = test(best);
@@ -293,6 +293,20 @@ shrinkCounterexample(const Program &prog,
     out.warm = best.warm;
     out.wo_text = renderWo(*out.program, out.warm);
     return out;
+}
+
+ShrinkOutcome
+shrinkCounterexample(const Program &prog,
+                     const std::vector<WarmTerm> &warm,
+                     const SystemCfg &sys_cfg, ViolationKind kind,
+                     const ShrinkCfg &cfg)
+{
+    return shrinkCounterexample(
+        prog, warm,
+        [&](const Program &p, const std::vector<WarmTerm> &w) {
+            return reproducesViolation(p, w, sys_cfg, kind);
+        },
+        cfg);
 }
 
 } // namespace wo

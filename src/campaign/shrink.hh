@@ -22,6 +22,7 @@
 #ifndef WO_CAMPAIGN_SHRINK_HH
 #define WO_CAMPAIGN_SHRINK_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -65,9 +66,28 @@ bool reproducesViolation(const Program &prog,
                          ViolationKind kind);
 
 /**
- * Minimize @p prog while @p kind keeps reproducing under @p sys_cfg.
- * When even the input does not reproduce, the outcome carries the
- * input program with reproduced == false.
+ * "Does the failure still reproduce on this candidate?"  Each call
+ * costs whatever the caller's oracle costs -- a timed monitored run
+ * for run-cell failures, a full dual-engine verification for verify
+ * findings -- so the run budget in ShrinkCfg bounds the total.
+ */
+using ShrinkPredicate =
+    std::function<bool(const Program &, const std::vector<WarmTerm> &)>;
+
+/**
+ * Minimize @p prog while @p still_fails keeps holding.  The ddmin core
+ * behind both public overloads; when even the input does not satisfy
+ * the predicate, the outcome carries the input program with
+ * reproduced == false.
+ */
+ShrinkOutcome shrinkCounterexample(const Program &prog,
+                                   const std::vector<WarmTerm> &warm,
+                                   const ShrinkPredicate &still_fails,
+                                   const ShrinkCfg &cfg = {});
+
+/**
+ * Minimize @p prog while @p kind keeps reproducing under @p sys_cfg
+ * (the monitored timed-run predicate).
  */
 ShrinkOutcome shrinkCounterexample(const Program &prog,
                                    const std::vector<WarmTerm> &warm,

@@ -1,0 +1,219 @@
+#include "verify.hh"
+
+#include "common/logging.hh"
+#include "core/drf0_checker.hh"
+#include "models/model_registry.hh"
+#include "models/sc_model.hh"
+
+namespace wo {
+
+namespace {
+
+std::set<Outcome>
+symmetricDiff(const std::set<Outcome> &a, const std::set<Outcome> &b)
+{
+    std::set<Outcome> d;
+    for (const auto &o : a)
+        if (!b.count(o))
+            d.insert(o);
+    for (const auto &o : b)
+        if (!a.count(o))
+            d.insert(o);
+    return d;
+}
+
+std::string
+renderOutcomes(const std::set<Outcome> &outcomes, std::size_t limit = 8)
+{
+    std::string s;
+    std::size_t shown = 0;
+    for (const auto &o : outcomes) {
+        if (shown++ >= limit) {
+            s += strprintf("  ... and %zu more\n", outcomes.size() - limit);
+            break;
+        }
+        s += "  " + o.toString() + "\n";
+    }
+    return s;
+}
+
+std::string
+engineLine(const char *name, const ExploreResult &r)
+{
+    std::string s = strprintf(
+        "%s: %zu outcomes, %llu states, %llu transitions", name,
+        r.outcomes.size(), static_cast<unsigned long long>(r.states),
+        static_cast<unsigned long long>(r.transitions));
+    if (r.truncated)
+        s += " [truncated]";
+    if (r.stuck)
+        s += " [stuck]";
+    return s;
+}
+
+} // namespace
+
+std::string
+VerifyResult::verdict() const
+{
+    if (has_violation)
+        return std::string("hw:") + violationKindName(kind);
+    if (inconclusive)
+        return "inconclusive";
+    if (nonsc)
+        return "nonsc";
+    return "ok";
+}
+
+std::string
+VerifyResult::detail() const
+{
+    std::string s = "verify model=" + model + " verdict=" + verdict() + "\n";
+    s += engineLine("hw dpor", dpor) + "\n";
+    s += engineLine("hw bfs ", bfs) + "\n";
+    s += engineLine("sc dpor", sc) + "\n";
+    s += strprintf("axiom:   %zu outcomes, %llu candidates, %llu judgements%s\n",
+                   axiom.outcomes.size(),
+                   static_cast<unsigned long long>(axiom.candidates),
+                   static_cast<unsigned long long>(axiom.judgements),
+                   axiom.conclusive ? "" : " [inconclusive]");
+    if (!axiom.conclusive && !axiom.why_inconclusive.empty())
+        s += "axiom inconclusive: " + axiom.why_inconclusive + "\n";
+    s += strprintf("drf0: %s%s\n", drf0_obeys ? "obeys" : "violates",
+                   drf0_exhausted ? " (exhausted)" : "");
+    if (inconclusive)
+        s += "inconclusive: " + why_inconclusive + "\n";
+    if (has_violation) {
+        switch (kind) {
+          case ViolationKind::dpor_divergence:
+            s += "DPOR and BFS disagree; outcome-set difference:\n";
+            break;
+          case ViolationKind::axiom_divergence:
+            s += "axiomatic and operational SC disagree; "
+                 "outcome-set difference:\n";
+            break;
+          case ViolationKind::def2_subset:
+            s += "DRF0-obeying program saw non-SC outcomes on a "
+                 "conformance-claiming model; extra outcomes:\n";
+            break;
+          default:
+            break;
+        }
+        s += renderOutcomes(witness);
+    }
+    if (nonsc) {
+        s += "hardware outcomes beyond SC (expected on a counterexample "
+             "machine or racy program):\n";
+        s += renderOutcomes(dpor.minus(sc));
+    }
+    return s;
+}
+
+VerifyResult
+verifyProgramOnModel(const Program &prog, const std::string &model_name,
+                     const VerifyCfg &cfg)
+{
+    VerifyResult r;
+    r.model = model_name;
+
+    ExploreCfg dpor_cfg;
+    dpor_cfg.max_states = cfg.max_states;
+    dpor_cfg.algo = ExploreAlgo::dpor;
+    ExploreCfg bfs_cfg;
+    bfs_cfg.max_states = cfg.max_states;
+    bfs_cfg.algo = ExploreAlgo::bfs;
+
+    const bool known = withModelByName(prog, model_name, [&](auto &m) {
+        r.dpor = exploreOutcomes(m, dpor_cfg);
+        r.bfs = exploreOutcomes(m, bfs_cfg);
+    });
+    if (!known) {
+        r.inconclusive = true;
+        r.why_inconclusive = "unknown model '" + model_name + "'";
+        return r;
+    }
+
+    auto noteInconclusive = [&](std::string why) {
+        if (!r.inconclusive) {
+            r.inconclusive = true;
+            r.why_inconclusive = std::move(why);
+        }
+    };
+
+    // Check 1: the reduced engine against the golden reference.  A
+    // truncated or stuck engine explored a prefix only; comparing
+    // prefixes would manufacture false divergences, so both sides must
+    // be conclusive.
+    if (r.dpor.conclusive() && r.bfs.conclusive()) {
+        if (r.dpor.outcomes != r.bfs.outcomes) {
+            r.has_violation = true;
+            r.kind = ViolationKind::dpor_divergence;
+            r.witness = symmetricDiff(r.dpor.outcomes, r.bfs.outcomes);
+            return r;
+        }
+    } else {
+        noteInconclusive("hardware exploration hit the state budget");
+    }
+
+    // The operational SC reference set, shared by checks 2 and 3.
+    ScModel sc_model(prog);
+    r.sc = exploreOutcomes(sc_model, dpor_cfg);
+    if (!r.sc.conclusive())
+        noteInconclusive("SC exploration hit the state budget");
+
+    // Check 2: the axiomatic evaluator against the operational SC
+    // machine.  Loop-bearing programs trip the unfolding budget and
+    // honestly fall to inconclusive here.
+    r.axiom = axiomScOutcomes(prog, cfg.axiom);
+    if (r.axiom.conclusive && r.sc.conclusive()) {
+        if (r.axiom.outcomes != r.sc.outcomes) {
+            r.has_violation = true;
+            r.kind = ViolationKind::axiom_divergence;
+            r.witness = symmetricDiff(r.axiom.outcomes, r.sc.outcomes);
+            return r;
+        }
+    } else if (!r.axiom.conclusive) {
+        noteInconclusive("axiomatic evaluation inconclusive: " +
+                         r.axiom.why_inconclusive);
+    }
+
+    // Check 3: the Definition-2 subset claim.
+    SyncModelVerdict v = checkDrf0(prog);
+    r.drf0_obeys = v.obeys;
+    r.drf0_exhausted = v.exhausted;
+    if (r.dpor.conclusive() && r.sc.conclusive()) {
+        std::set<Outcome> extra = r.dpor.minus(r.sc);
+        if (!extra.empty()) {
+            if (modelClaimsConformance(model_name)) {
+                if (v.obeys && !v.exhausted) {
+                    r.has_violation = true;
+                    r.kind = ViolationKind::def2_subset;
+                    r.witness = std::move(extra);
+                    return r;
+                }
+                if (v.exhausted) {
+                    // Non-SC outcomes on a claiming model, but the
+                    // program's DRF0 status is unknown: cannot call it
+                    // either way.
+                    noteInconclusive("non-SC outcomes with exhausted "
+                                     "DRF0 classification");
+                    return r;
+                }
+            }
+            // Counterexample machine, or a racy program whose behavior
+            // the contract leaves unconstrained.
+            r.nonsc = true;
+        }
+    }
+    return r;
+}
+
+bool
+verifyReproduces(const Program &prog, const std::string &model_name,
+                 ViolationKind kind, const VerifyCfg &cfg)
+{
+    VerifyResult r = verifyProgramOnModel(prog, model_name, cfg);
+    return r.has_violation && r.kind == kind;
+}
+
+} // namespace wo

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The dual-engine verify judge behind `wotool campaign --verify`.
+ *
+ * A *run* cell asks "did this timed execution break an invariant?"; a
+ * *verify* cell asks the stronger model-checking question "do the
+ * independent checking engines agree about this program's outcome
+ * sets?".  Three checks, in increasing strength:
+ *
+ *  1. **dpor_divergence** -- the reduced explorer (sleep-set DPOR with
+ *     hashed-state dedup) and the naive visited-set BFS must compute
+ *     bit-identical outcome sets on the hardware model.  Any gap is a
+ *     soundness bug in the reduction.
+ *
+ *  2. **axiom_divergence** -- the axiomatic SC evaluator (src/axiom/,
+ *     no shared code with the operational simulators) must agree with
+ *     the operational SC machine's explored outcome set.  Any gap is a
+ *     bug in one of the two engines.
+ *
+ *  3. **def2_subset** -- when the model claims the paper's Definition-2
+ *     contract and the program obeys DRF0, the hardware outcome set
+ *     must be a subset of the SC outcome set.  A miss is a definite
+ *     counterexample to the conformance claim.
+ *
+ * A truncated, stuck or budget-tripped engine can never produce a
+ * conclusive verdict: the cell reports *inconclusive* instead, and
+ * nothing is counted for or against the contract.  Non-claiming
+ * machines (wb/net/stale are the paper's counterexample hardware)
+ * escaping SC is the expected result, reported as "nonsc", not a
+ * failure.
+ *
+ * Findings feed the same shrink / dedup / reproducer pipeline as the
+ * monitor's runtime findings (scheduler.cc), with verifyReproduces()
+ * as the shrink predicate.
+ */
+
+#ifndef WO_CAMPAIGN_VERIFY_HH
+#define WO_CAMPAIGN_VERIFY_HH
+
+#include <set>
+#include <string>
+
+#include "axiom/axiom_eval.hh"
+#include "models/explorer.hh"
+#include "obs/monitor.hh"
+#include "program/program.hh"
+
+namespace wo {
+
+/** Verify-cell knobs. */
+struct VerifyCfg
+{
+    /** Per-engine state budget (each engine explores independently). */
+    std::uint64_t max_states = 200'000;
+
+    /** Axiomatic-evaluator budgets and the seeded-bug test hook. */
+    AxiomCfg axiom;
+};
+
+/** What the three checks decided for one program x model pair. */
+struct VerifyResult
+{
+    std::string model; //!< model flag name ("sc", "wb", ...)
+
+    // Engine evidence, kept for stats and the disagreement report.
+    ExploreResult dpor; //!< hardware model, reduced engine
+    ExploreResult bfs;  //!< hardware model, golden reference engine
+    ExploreResult sc;   //!< operational SC reference exploration
+    AxiomResult axiom;  //!< axiomatic SC evaluation
+    bool drf0_obeys = false;
+    bool drf0_exhausted = false;
+
+    /** Some engine tripped a budget: no conclusive verdict exists. */
+    bool inconclusive = false;
+    std::string why_inconclusive;
+
+    /** An engine disagreement or a broken conformance claim. */
+    bool has_violation = false;
+    ViolationKind kind = ViolationKind::dpor_divergence;
+    std::set<Outcome> witness; //!< outcome-set difference of the finding
+
+    /** Counterexample machine escaped SC (the paper's expected result). */
+    bool nonsc = false;
+
+    /** "ok" | "nonsc" | "inconclusive" | "hw:<kind>". */
+    std::string verdict() const;
+
+    /** Multi-line evidence report (the `.verify.txt` artifact). */
+    std::string detail() const;
+};
+
+/**
+ * Run the three checks for @p prog on the model named @p model_name
+ * (see modelNames()).  An unknown model name reports inconclusive.
+ */
+VerifyResult verifyProgramOnModel(const Program &prog,
+                                  const std::string &model_name,
+                                  const VerifyCfg &cfg = {});
+
+/**
+ * Shrink predicate: does @p kind still reproduce when the candidate
+ * @p prog is verified on @p model_name under @p cfg?  One full
+ * three-check evaluation per candidate.
+ */
+bool verifyReproduces(const Program &prog, const std::string &model_name,
+                      ViolationKind kind, const VerifyCfg &cfg);
+
+} // namespace wo
+
+#endif // WO_CAMPAIGN_VERIFY_HH

@@ -5,13 +5,17 @@ namespace wo {
 std::string
 ContractResult::toString() const
 {
-    std::string out = holds ? "contract HOLDS over suite\n"
-                            : "contract VIOLATED\n";
+    std::string out =
+        !holds        ? "contract VIOLATED\n"
+        : !conclusive ? "contract INCONCLUSIVE (a relevant check hit "
+                        "its exploration budget)\n"
+                      : "contract HOLDS over suite\n";
     for (const auto &e : entries) {
         out += strprintf("  %-28s %-14s %-12s%s\n", e.program.c_str(),
                          e.obeys_model ? "obeys-DRF0" : "violates-DRF0",
                          e.appears_sc ? "appears-SC" : "NOT-SC",
-                         e.reliable ? "" : "  (unreliable: truncated)");
+                         e.reliable ? ""
+                                    : "  (inconclusive: budget hit)");
     }
     return out;
 }

@@ -38,7 +38,7 @@ namespace wo {
 struct ConformanceResult
 {
     bool appears_sc = false;      //!< hardware outcomes subset of SC outcomes
-    bool reliable = true;         //!< false when exploration truncated
+    bool reliable = true;         //!< false when an engine truncated or stuck
     std::set<Outcome> extra;      //!< hardware outcomes SC cannot produce
     ExploreResult hw;             //!< hardware exploration
     ExploreResult sc;             //!< SC reference exploration
@@ -76,7 +76,10 @@ conformsForProgram(const HwModel &hw, const Program &prog,
     r.sc = exploreOutcomes(sc, cfg);
     r.extra = r.hw.minus(r.sc);
     r.appears_sc = r.extra.empty();
-    r.reliable = !r.hw.truncated && !r.sc.truncated;
+    // A truncated *or stuck* exploration saw only part of an outcome
+    // set, so neither "subset" nor "not subset" is trustworthy: the
+    // verdict must be reported inconclusive, never conclusive.
+    r.reliable = r.hw.conclusive() && r.sc.conclusive();
     return r;
 }
 
@@ -94,6 +97,14 @@ struct ContractEntry
 struct ContractResult
 {
     bool holds = true; //!< no obeying program saw a non-SC outcome
+
+    /**
+     * Every *relevant* entry's checks ran to completion.  When false,
+     * `holds` only summarizes the entries that did complete; the
+     * contract question itself is open.
+     */
+    bool conclusive = true;
+
     std::vector<ContractEntry> entries;
 
     /** Multi-line report. */
@@ -125,7 +136,11 @@ checkContract(MakeHw &&make_hw, const std::vector<Program> &suite,
         ConformanceResult c = conformsForProgram(hw, prog, explore_cfg);
         e.appears_sc = c.appears_sc;
         e.reliable = c.reliable && !v.exhausted;
-        if (e.relevant && !e.appears_sc)
+        // Only a completed check may decide the contract either way; a
+        // budget-tripped entry leaves the whole result inconclusive.
+        if (e.relevant && !e.reliable)
+            result.conclusive = false;
+        if (e.relevant && e.reliable && !e.appears_sc)
             result.holds = false;
         result.entries.push_back(std::move(e));
     }

@@ -9,8 +9,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+
 #include "campaign/cell.hh"
 #include "common/logging.hh"
+#include "models/model_registry.hh"
 
 namespace wo {
 
@@ -56,6 +59,15 @@ fleetSpecToJson(const FleetCampaignSpec &spec)
     j.set("shrink", Json(spec.shrink));
     j.set("shrink_max_runs", Json(spec.shrink_max_runs));
     j.set("inject_reserve_bug", Json(spec.inject_reserve_bug));
+    if (spec.verify) {
+        j.set("verify", Json(true));
+        std::string models;
+        for (const auto &m : spec.verify_models)
+            models += std::string(models.empty() ? "" : ",") + m;
+        j.set("verify_models", Json(models));
+        j.set("max_states", Json(spec.max_states));
+        j.set("inject_axiom_bug", Json(spec.inject_axiom_bug));
+    }
     return j;
 }
 
@@ -113,6 +125,31 @@ fleetSpecFromJson(const Json &j, FleetCampaignSpec &out,
         spec.shrink_max_runs = v->uintValue();
     if (const Json *v = j.find("inject_reserve_bug"); v && v->isBool())
         spec.inject_reserve_bug = v->boolValue();
+    if (const Json *v = j.find("verify"); v && v->isBool())
+        spec.verify = v->boolValue();
+    if (const Json *v = j.find("verify_models"); v && v->isString()) {
+        std::string cur;
+        const std::string &text = v->stringValue();
+        for (std::size_t i = 0; i <= text.size(); ++i) {
+            if (i < text.size() && text[i] != ',') {
+                cur += text[i];
+                continue;
+            }
+            if (cur.empty())
+                continue;
+            const auto &known = modelNames();
+            if (std::find(known.begin(), known.end(), cur) == known.end())
+                return fail("unknown model '" + cur + "'");
+            spec.verify_models.push_back(cur);
+            cur.clear();
+        }
+    }
+    if (const Json *v = j.find("max_states"); v && v->isNumber())
+        spec.max_states = v->uintValue();
+    if (spec.max_states == 0)
+        return fail("spec.max_states must be positive");
+    if (const Json *v = j.find("inject_axiom_bug"); v && v->isBool())
+        spec.inject_axiom_bug = v->boolValue();
     out = std::move(spec);
     return true;
 }

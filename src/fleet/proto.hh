@@ -83,6 +83,13 @@ struct FleetCampaignSpec
     bool shrink = true;
     std::uint64_t shrink_max_runs = 500;
     bool inject_reserve_bug = false;
+
+    // Verify campaigns (see campaign/verify.hh): workers model-check
+    // program x model cells instead of running timed simulations.
+    bool verify = false;
+    std::vector<std::string> verify_models; //!< empty = all models
+    std::uint64_t max_states = 200'000;     //!< per-engine budget
+    bool inject_axiom_bug = false;          //!< seeded divergence
 };
 
 /** Encode @p spec as the wire/journal-header JSON object. */

@@ -5,6 +5,7 @@
 
 #include "campaign/fuzzer.hh"
 #include "campaign/shrink.hh"
+#include "campaign/verify.hh"
 #include "common/logging.hh"
 #include "obs/monitor.hh"
 
@@ -169,6 +170,10 @@ FleetWorker::executeLease(const Json &msg)
     fcfg.policies = spec.policies;
     fcfg.program_files = spec.program_files;
     fcfg.inject_reserve_bug = spec.inject_reserve_bug;
+    fcfg.verify = spec.verify;
+    fcfg.verify_models = spec.verify_models;
+    fcfg.max_states = spec.max_states;
+    fcfg.inject_axiom_bug = spec.inject_axiom_bug;
     const Fuzzer fuzzer(fcfg);
 
     std::atomic<std::size_t> cursor{0};
@@ -197,12 +202,28 @@ FleetWorker::executeLease(const Json &msg)
                 violationKindFromName(run.result.primary_kind, kind)) {
                 // Shrink where the evidence is: only the minimized
                 // text travels, and the coordinator's dedup hash is
-                // computed over exactly this text.
+                // computed over exactly this text.  Verify findings
+                // shrink under the dual-engine predicate; run findings
+                // under the monitored timed run.
                 ShrinkCfg scfg;
                 scfg.max_runs = spec.shrink ? spec.shrink_max_runs : 1;
-                const ShrinkOutcome s = shrinkCounterexample(
-                    *run.program, run.warm,
-                    cell.systemCfg(spec.max_events), kind, scfg);
+                VerifyCfg vcfg;
+                vcfg.max_states = cell.max_states;
+                vcfg.axiom.inject_bug = cell.inject_axiom_bug;
+                const ShrinkOutcome s =
+                    cell.kind == CellKind::verify
+                        ? shrinkCounterexample(
+                              *run.program, run.warm,
+                              [&](const Program &p,
+                                  const std::vector<WarmTerm> &) {
+                                  return verifyReproduces(p, cell.model,
+                                                          kind, vcfg);
+                              },
+                              scfg)
+                        : shrinkCounterexample(
+                              *run.program, run.warm,
+                              cell.systemCfg(spec.max_events), kind,
+                              scfg);
                 Json failure = Json::object();
                 failure.set("kind", Json(run.result.primary_kind));
                 failure.set("wo_text", Json(s.wo_text));

@@ -2,18 +2,45 @@
  * @file
  * Exhaustive state-space exploration over any abstract operational model.
  *
- * The explorer walks the full reachable state graph of a model (visited-set
- * pruned, so spin loops and other cycles terminate) and collects the set of
- * observable Outcomes of final states.  The outcome *set* is the object the
- * new definition of weak ordering talks about: hardware "appears
- * sequentially consistent" to a program exactly when its outcome set is a
- * subset of the SC machine's outcome set for that program.
+ * The explorer collects the set of observable Outcomes of the model's
+ * final states.  The outcome *set* is the object the new definition of
+ * weak ordering talks about: hardware "appears sequentially consistent"
+ * to a program exactly when its outcome set is a subset of the SC
+ * machine's outcome set for that program.
+ *
+ * Two engines share that contract:
+ *
+ *  - exploreOutcomesBfs: the naive visited-set BFS over the full state
+ *    graph.  Simple, obviously correct, and the golden reference the
+ *    equivalence suite holds the reduced engine to.
+ *
+ *  - exploreOutcomesDpor (the default): depth-first search with *sleep
+ *    sets* [Godefroid] and hashed-state deduplication.  Two transitions
+ *    enabled in the same state are independent when executing them in
+ *    either order is (a) possible and (b) lands in the identical state;
+ *    a sleep set carries transitions whose subtrees are already covered
+ *    by an equivalent interleaving, and exploring them again is skipped.
+ *    Independence is decided by *concretely commuting* the two
+ *    transitions and comparing the encoded results -- never by a static
+ *    footprint approximation.  That matters: in the stale-cache model
+ *    two stores to different locations broadcast inbox updates whose
+ *    arrival orders differ, so an addr-disjointness rule would wrongly
+ *    commute them.  Concrete commutation is sound for any model by
+ *    construction.
+ *
+ *    Hashed-state dedup: visited states are keyed by a 128-bit FNV pair
+ *    over the StateEnc bytes rather than the bytes themselves, and each
+ *    key stores the antichain of sleep sets it was explored with.  A
+ *    revisit is pruned only when a previous visit's sleep set is a
+ *    subset of the current one (the previous visit explored at least
+ *    everything this visit would).
  *
  * Model concept:
  *     struct State;                         // copyable machine state
  *     State initial() const;
  *     bool isFinal(const State&) const;     // halted and quiescent
  *     std::vector<State> successors(const State&) const;
+ *     std::vector<LabeledSucc<State>> labeledSuccessors(const State&) const;
  *     Outcome outcome(const State&) const;  // defined for final states
  *     std::string encode(const State&) const; // injective
  *     static const char *name();
@@ -25,29 +52,50 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <set>
+#include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/logging.hh"
 #include "execution/execution.hh"
+#include "models/transition.hh"
+#include "program/program.hh"
 
 namespace wo {
+
+/** Which exploration engine to run. */
+enum class ExploreAlgo {
+    dpor, ///< sleep-set DPOR with hashed-state dedup (default)
+    bfs,  ///< naive visited-set BFS (golden reference)
+};
 
 /** Exploration limits. */
 struct ExploreCfg
 {
     /** Abort after visiting this many states (0 = unlimited). */
     std::uint64_t max_states = 5'000'000;
+
+    /** Engine selection. */
+    ExploreAlgo algo = ExploreAlgo::dpor;
 };
 
 /** What exploration found. */
 struct ExploreResult
 {
     std::set<Outcome> outcomes;   //!< outcomes of all reachable final states
-    std::uint64_t states = 0;     //!< states visited
+    std::uint64_t states = 0;     //!< states visited (expansions)
     bool truncated = false;       //!< state budget hit: outcomes incomplete
     bool stuck = false;           //!< some non-final state had no successors
+
+    std::uint64_t transitions = 0;    //!< edges executed
+    std::uint64_t sleep_pruned = 0;   //!< edges skipped by sleep sets
+    std::uint64_t revisit_pruned = 0; //!< re-entries pruned by subsumption
+
+    /** Outcome set conclusively computed (neither truncated nor stuck)? */
+    bool conclusive() const { return !truncated && !stuck; }
 
     /** True iff every outcome also appears in @p reference. */
     bool
@@ -122,10 +170,10 @@ witnessChain(const Model &model, const Outcome &target,
     return {};
 }
 
-/** Exhaustively explore @p model and collect final-state outcomes. */
+/** Naive visited-set BFS: the golden reference engine. */
 template <typename Model>
 ExploreResult
-exploreOutcomes(const Model &model, const ExploreCfg &cfg = {})
+exploreOutcomesBfs(const Model &model, const ExploreCfg &cfg = {})
 {
     ExploreResult result;
     std::unordered_set<std::string> visited;
@@ -160,10 +208,416 @@ exploreOutcomes(const Model &model, const ExploreCfg &cfg = {})
             result.stuck = true;
             continue;
         }
+        result.transitions += succs.size();
         for (auto &n : succs)
             push(std::move(n));
     }
     return result;
+}
+
+namespace explorer_detail {
+
+/** 128-bit key over the StateEnc bytes: two FNV-1a variants. */
+struct StateKey
+{
+    std::uint64_t lo, hi;
+    bool operator==(const StateKey &other) const = default;
+};
+
+struct StateKeyHash
+{
+    std::size_t
+    operator()(const StateKey &k) const
+    {
+        return static_cast<std::size_t>(k.lo ^
+                                        (k.hi * 0x9e3779b97f4a7c15ULL));
+    }
+};
+
+inline StateKey
+hashEncoding(const std::string &enc)
+{
+    std::uint64_t a = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+    std::uint64_t b = 0x6c62272e07bb0142ULL; // second basis (FNV-0 of seed)
+    for (unsigned char c : enc) {
+        a = (a ^ c) * 0x100000001b3ULL;
+        b = (b ^ c) * 0x00000100000001b3ULL ^ (b >> 47);
+    }
+    return StateKey{a, b};
+}
+
+/** Is sorted label set @p a a subset of sorted label set @p b? */
+inline bool
+labelSubset(const std::vector<TransLabel> &a, const std::vector<TransLabel> &b)
+{
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+/**
+ * Conservative over-approximation of everything one processor may still
+ * do: the locations reachable code from its current pc may read/write
+ * (plus locations its queued effects will write), and whether it may
+ * still store or synchronize.  Used to split processors into conflict
+ * components: two processors whose footprints are disjoint can never
+ * influence each other again, so their transitions commute forever and
+ * only one component needs expanding per state.
+ */
+struct ProcFoot
+{
+    std::uint64_t reads = 0;  //!< bit per Addr < 64
+    std::uint64_t writes = 0; //!< bit per Addr < 64
+    bool overflow = false;    //!< an Addr >= 64 appeared: conflict with all
+    bool may_sync = false;    //!< a synchronization op is reachable
+    bool writes_any = false;  //!< a store (or queued write) is reachable
+};
+
+inline void
+footAddRead(ProcFoot &f, Addr a)
+{
+    if (a < 64)
+        f.reads |= std::uint64_t{1} << a;
+    else
+        f.overflow = true;
+}
+
+inline void
+footAddWrite(ProcFoot &f, Addr a)
+{
+    if (a < 64)
+        f.writes |= std::uint64_t{1} << a;
+    else
+        f.overflow = true;
+}
+
+/**
+ * Accumulate the footprint of all code reachable from @p pc.  A
+ * *publishing* synchronization read reserves its location in the DRF0
+ * machine, so every synchronization op counts as a write to its
+ * location (harmless over-approximation elsewhere).
+ */
+inline void
+codeFootprint(const ThreadCode &code, Pc pc, ProcFoot &f)
+{
+    std::vector<bool> seen(code.size(), false);
+    std::vector<Pc> work{pc};
+    while (!work.empty()) {
+        const Pc at = work.back();
+        work.pop_back();
+        if (at >= code.size() || seen[at])
+            continue;
+        seen[at] = true;
+        const Instruction &i = code.at(at);
+        switch (i.op) {
+          case Opcode::halt:
+            break;
+          case Opcode::jump:
+            work.push_back(i.target);
+            break;
+          case Opcode::branch_eq:
+          case Opcode::branch_ne:
+            work.push_back(i.target);
+            work.push_back(at + 1);
+            break;
+          case Opcode::load_data:
+            footAddRead(f, i.addr);
+            work.push_back(at + 1);
+            break;
+          case Opcode::store_data:
+            footAddWrite(f, i.addr);
+            f.writes_any = true;
+            work.push_back(at + 1);
+            break;
+          case Opcode::sync_load:
+            f.may_sync = true;
+            footAddWrite(f, i.addr);
+            work.push_back(at + 1);
+            break;
+          case Opcode::sync_store:
+          case Opcode::test_and_set:
+            f.may_sync = true;
+            f.writes_any = true;
+            footAddWrite(f, i.addr);
+            work.push_back(at + 1);
+            break;
+          default:
+            work.push_back(at + 1);
+            break;
+        }
+    }
+}
+
+/**
+ * May processors with footprints @p a and @p b still influence each
+ * other?  In a broadcast model (stale-cache: stores update every inbox,
+ * barriers wait on every inbox) any writer or synchronizer conflicts
+ * with everyone; elsewhere a conflict needs a shared location with at
+ * least one writer.
+ */
+inline bool
+footsConflict(const ProcFoot &a, const ProcFoot &b, bool broadcast)
+{
+    if (broadcast)
+        return a.writes_any || a.may_sync || b.writes_any || b.may_sync;
+    if (a.overflow || b.overflow)
+        return true;
+    return ((a.writes & (b.reads | b.writes)) | (b.writes & a.reads)) != 0;
+}
+
+template <typename Model>
+constexpr bool
+modelBroadcasts()
+{
+    if constexpr (requires { Model::stores_broadcast; })
+        return Model::stores_broadcast;
+    else
+        return false;
+}
+
+} // namespace explorer_detail
+
+/**
+ * Sleep-set DPOR with hashed-state deduplication.  Explores a sound
+ * subset of the BFS transition graph that still reaches every final
+ * state (the equivalence suite asserts outcome sets are bit-identical to
+ * exploreOutcomesBfs across programs x models).
+ */
+template <typename Model>
+ExploreResult
+exploreOutcomesDpor(const Model &model, const ExploreCfg &cfg = {})
+{
+    using State = typename Model::State;
+    using Succs = std::vector<LabeledSucc<State>>;
+    using Sleep = std::vector<TransLabel>; // sorted, unique
+    using namespace explorer_detail;
+
+    ExploreResult result;
+
+    // visited: state-hash -> antichain of sleep sets it was entered with.
+    std::unordered_map<StateKey, std::vector<Sleep>, StateKeyHash> visited;
+
+    struct Frame
+    {
+        State state;
+        Succs succs;
+        Sleep sleep;                  // asleep on entry
+        std::vector<TransLabel> done; // explored from here, in order
+        std::size_t next = 0;         // cursor into succs
+        // Successor lists of this frame's children, keyed by the label
+        // that reaches them; memoizes the commutation probes.
+        std::map<TransLabel, Succs> child_succs;
+    };
+    std::vector<Frame> stack;
+
+    // Footprints of reachable code, memoized per (proc, pc).
+    std::map<std::pair<ProcId, Pc>, ProcFoot> code_cache;
+    constexpr bool broadcast = modelBroadcasts<Model>();
+
+    // Persistent-set reduction: split the processors into components that
+    // may still influence each other (conservative future footprints) and
+    // keep only the cheapest component's transitions.  Processors in other
+    // components commute with everything the chosen component will ever
+    // do, so delaying them to a canonical later point loses no final
+    // state.
+    auto persistentFilter = [&](const State &s, Succs &succs) {
+        const Program &prog = model.program();
+        const ProcId n = prog.numThreads();
+        if (n <= 1 || succs.size() <= 1)
+            return;
+        std::vector<ProcFoot> foot(n);
+        std::vector<bool> active(n, false);
+        std::vector<Addr> queued;
+        for (ProcId p = 0; p < n; ++p) {
+            const auto &t = s.threads[p];
+            if (!t.halted) {
+                active[p] = true;
+                const auto key = std::make_pair(p, t.pc);
+                auto it = code_cache.find(key);
+                if (it == code_cache.end()) {
+                    ProcFoot cf;
+                    codeFootprint(prog.thread(p), t.pc, cf);
+                    it = code_cache.emplace(key, cf).first;
+                }
+                foot[p] = it->second;
+            }
+            queued.clear();
+            model.pendingAddrs(s, p, queued);
+            for (Addr a : queued) {
+                footAddWrite(foot[p], a);
+                foot[p].writes_any = true;
+                active[p] = true;
+            }
+        }
+        for (const auto &ls : succs)
+            active[ls.label.proc] = true; // e.g. pending inbox deliveries
+        // Union-find over conflicting active processors.
+        std::vector<ProcId> parent(n);
+        for (ProcId p = 0; p < n; ++p)
+            parent[p] = p;
+        auto find = [&](ProcId p) {
+            while (parent[p] != p)
+                p = parent[p] = parent[parent[p]];
+            return p;
+        };
+        for (ProcId p = 0; p < n; ++p) {
+            if (!active[p])
+                continue;
+            for (ProcId q = p + 1; q < n; ++q) {
+                if (!active[q] || !footsConflict(foot[p], foot[q],
+                                                 broadcast))
+                    continue;
+                parent[find(p)] = find(q);
+            }
+        }
+        // Cheapest component with at least one enabled transition wins.
+        std::vector<std::uint32_t> count(n, 0);
+        for (const auto &ls : succs)
+            ++count[find(ls.label.proc)];
+        ProcId best = invalid_proc;
+        for (ProcId p = 0; p < n; ++p) {
+            const ProcId r = find(p);
+            if (r == p && count[r] > 0 &&
+                (best == invalid_proc || count[r] < count[best]))
+                best = r;
+        }
+        if (best == invalid_proc || count[best] == succs.size())
+            return;
+        std::erase_if(succs, [&](const LabeledSucc<State> &ls) {
+            return find(ls.label.proc) != best;
+        });
+    };
+
+    // Enter state s with sleep set `sleep`: dedup, classify, maybe push.
+    auto tryEnter = [&](State s, Sleep sleep) {
+        const bool is_final = model.isFinal(s);
+        if (is_final)
+            sleep.clear(); // final states carry no transitions to skip
+
+        const StateKey key = hashEncoding(model.encode(s));
+        auto &entries = visited[key];
+        for (const auto &prev : entries) {
+            if (labelSubset(prev, sleep)) {
+                // A previous entry explored a superset of what this entry
+                // would; nothing new here.
+                ++result.revisit_pruned;
+                return;
+            }
+        }
+        if (cfg.max_states && result.states >= cfg.max_states) {
+            result.truncated = true;
+            return;
+        }
+        // Keep the antichain minimal: this sleep set replaces any stored
+        // superset of it.
+        std::erase_if(entries, [&](const Sleep &prev) {
+            return labelSubset(sleep, prev);
+        });
+        entries.push_back(sleep);
+        ++result.states;
+
+        if (is_final) {
+            result.outcomes.insert(model.outcome(s));
+            return;
+        }
+        Succs succs = model.labeledSuccessors(s);
+        if (succs.empty()) {
+            result.stuck = true;
+            return;
+        }
+        persistentFilter(s, succs);
+        stack.push_back(Frame{std::move(s), std::move(succs),
+                              std::move(sleep), {}, 0, {}});
+    };
+
+    tryEnter(model.initial(), {});
+
+    while (!stack.empty() && !result.truncated) {
+        Frame &f = stack.back();
+        if (f.next >= f.succs.size()) {
+            stack.pop_back();
+            continue;
+        }
+        const std::size_t at = f.next++;
+        const TransLabel label = f.succs[at].label;
+        if (std::binary_search(f.sleep.begin(), f.sleep.end(), label)) {
+            // Asleep: an equivalent interleaving already covers this
+            // subtree.
+            ++result.sleep_pruned;
+            continue;
+        }
+        ++result.transitions;
+
+        // Successor list of the chosen child, computed once and shared by
+        // every commutation probe below (and implicitly by the child's
+        // own frame if it survives dedup).
+        const State &child = f.succs[at].state;
+        auto childSuccsOf = [&](const TransLabel &l,
+                                const State &st) -> const Succs & {
+            auto it = f.child_succs.find(l);
+            if (it == f.child_succs.end())
+                it = f.child_succs.emplace(l, model.labeledSuccessors(st))
+                         .first;
+            return it->second;
+        };
+        auto findLabel = [](const Succs &succs,
+                            const TransLabel &l) -> const State * {
+            for (const auto &ls : succs)
+                if (ls.label == l)
+                    return &ls.state;
+            return nullptr;
+        };
+
+        // Transitions that stay asleep in the child: everything asleep
+        // here (or already explored from here) that concretely commutes
+        // with the chosen label.
+        Sleep child_sleep;
+        auto considerSleeper = [&](const TransLabel &t) {
+            if (t == label)
+                return;
+            // t is enabled in f.state: find both one-step states.
+            const State *s_t = findLabel(f.succs, t);
+            if (!s_t)
+                return; // defensive: treat as dependent
+            // t must stay enabled after the chosen label...
+            const State *s_lt = findLabel(childSuccsOf(label, child), t);
+            if (!s_lt)
+                return;
+            // ...and the chosen label after t...
+            const State *s_tl = findLabel(childSuccsOf(t, *s_t), label);
+            if (!s_tl)
+                return;
+            // ...and both orders must land in the identical state.
+            if (model.encode(*s_lt) == model.encode(*s_tl))
+                child_sleep.push_back(t);
+        };
+        for (const TransLabel &t : f.sleep)
+            considerSleeper(t);
+        for (const TransLabel &t : f.done)
+            considerSleeper(t);
+        std::sort(child_sleep.begin(), child_sleep.end());
+        child_sleep.erase(
+            std::unique(child_sleep.begin(), child_sleep.end()),
+            child_sleep.end());
+
+        f.done.push_back(label);
+        // Note: tryEnter may push onto `stack`, invalidating `f`; it is
+        // the last use of this frame in the iteration.
+        State child_copy = f.succs[at].state;
+        tryEnter(std::move(child_copy), std::move(child_sleep));
+    }
+
+    if (result.truncated)
+        warn("%s: DPOR exploration truncated at %llu states", Model::name(),
+             static_cast<unsigned long long>(result.states));
+    return result;
+}
+
+/** Exhaustively explore @p model and collect final-state outcomes. */
+template <typename Model>
+ExploreResult
+exploreOutcomes(const Model &model, const ExploreCfg &cfg = {})
+{
+    return cfg.algo == ExploreAlgo::bfs ? exploreOutcomesBfs(model, cfg)
+                                        : exploreOutcomesDpor(model, cfg);
 }
 
 } // namespace wo

@@ -53,6 +53,15 @@ std::vector<NetworkReorderModel::State>
 NetworkReorderModel::successors(const State &s) const
 {
     std::vector<State> out;
+    for (auto &ls : labeledSuccessors(s))
+        out.push_back(std::move(ls.state));
+    return out;
+}
+
+std::vector<LabeledSucc<NetworkReorderModel::State>>
+NetworkReorderModel::labeledSuccessors(const State &s) const
+{
+    std::vector<LabeledSucc<State>> out;
 
     for (ProcId p = 0; p < prog_.numThreads(); ++p) {
         const ThreadCtx &t = s.threads[p];
@@ -69,7 +78,7 @@ NetworkReorderModel::successors(const State &s) const
             State next = s;
             completeAccess(prog_.thread(p), next.threads[p],
                            s.mem[i->addr]);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::store_data: {
@@ -78,7 +87,7 @@ NetworkReorderModel::successors(const State &s) const
             State next = s;
             next.flights[p].push_back(Flight{i->addr, storeValue(*i, t)});
             completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::sync_load:
@@ -91,7 +100,7 @@ NetworkReorderModel::successors(const State &s) const
             if (i->writesMemory())
                 next.mem[i->addr] = storeValue(*i, t);
             completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           default:
@@ -119,7 +128,9 @@ NetworkReorderModel::successors(const State &s) const
             next.flights[p].erase(next.flights[p].begin() +
                                   static_cast<std::ptrdiff_t>(k));
             next.mem[f.addr] = f.value;
-            out.push_back(std::move(next));
+            // Unique per (p, addr): only the oldest flight per location
+            // may arrive, so no two arrivals of p share an address.
+            out.push_back({drainLabel(p, f.addr), std::move(next)});
         }
     }
     return out;

@@ -46,17 +46,26 @@ ScModel::step(State &s, ProcId p, Execution *trace) const
     return true;
 }
 
-std::vector<ScModel::State>
-ScModel::successors(const State &s) const
+std::vector<LabeledSucc<ScModel::State>>
+ScModel::labeledSuccessors(const State &s) const
 {
-    std::vector<State> out;
+    std::vector<LabeledSucc<State>> out;
     for (ProcId p = 0; p < prog_.numThreads(); ++p) {
         if (s.threads[p].halted)
             continue;
         State next = s;
         step(next, p);
-        out.push_back(std::move(next));
+        out.push_back({instrLabel(p), std::move(next)});
     }
+    return out;
+}
+
+std::vector<ScModel::State>
+ScModel::successors(const State &s) const
+{
+    std::vector<State> out;
+    for (auto &ls : labeledSuccessors(s))
+        out.push_back(std::move(ls.state));
     return out;
 }
 

@@ -16,6 +16,7 @@
 #include "execution/execution.hh"
 #include "models/state_enc.hh"
 #include "models/thread_ctx.hh"
+#include "models/transition.hh"
 #include "program/program.hh"
 
 namespace wo {
@@ -46,6 +47,9 @@ class ScModel
     /** Every state reachable in one visible step. */
     std::vector<State> successors(const State &s) const;
 
+    /** Successors with transition labels (the DPOR explorer's view). */
+    std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
+
     /** The observable result of a final state. */
     Outcome outcome(const State &s) const;
 
@@ -57,6 +61,9 @@ class ScModel
 
     /** The bound program. */
     const Program &program() const { return prog_; }
+
+    /** Locations @p p's queued effects will still write (none: no queues). */
+    void pendingAddrs(const State &, ProcId, std::vector<Addr> &) const {}
 
     /**
      * Execute the access thread @p p currently sits at, atomically, in

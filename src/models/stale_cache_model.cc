@@ -62,6 +62,15 @@ std::vector<StaleCacheModel::State>
 StaleCacheModel::successors(const State &s) const
 {
     std::vector<State> out;
+    for (auto &ls : labeledSuccessors(s))
+        out.push_back(std::move(ls.state));
+    return out;
+}
+
+std::vector<LabeledSucc<StaleCacheModel::State>>
+StaleCacheModel::labeledSuccessors(const State &s) const
+{
+    std::vector<LabeledSucc<State>> out;
 
     for (ProcId p = 0; p < prog_.numThreads(); ++p) {
         const ThreadCtx &t = s.threads[p];
@@ -74,7 +83,7 @@ StaleCacheModel::successors(const State &s) const
             State next = s;
             completeAccess(prog_.thread(p), next.threads[p],
                            s.copy[p][i->addr]);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::store_data: {
@@ -88,7 +97,7 @@ StaleCacheModel::successors(const State &s) const
                 if (q != p)
                     next.inbox[q].push_back(Update{i->addr, v});
             completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::sync_load:
@@ -106,7 +115,7 @@ StaleCacheModel::successors(const State &s) const
                     next.copy[q][i->addr] = v;
             }
             completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           default:
@@ -115,7 +124,9 @@ StaleCacheModel::successors(const State &s) const
         }
     }
 
-    // Delivery steps: pop the front of any non-empty inbox.
+    // Delivery steps: pop the front of any non-empty inbox.  The label
+    // carries the *receiver* q (one front entry per inbox, so q alone is
+    // unique); the delivered address refines it for readability.
     for (ProcId q = 0; q < prog_.numThreads(); ++q) {
         if (s.inbox[q].empty())
             continue;
@@ -123,7 +134,7 @@ StaleCacheModel::successors(const State &s) const
         Update u = next.inbox[q].front();
         next.inbox[q].erase(next.inbox[q].begin());
         next.copy[q][u.addr] = u.value;
-        out.push_back(std::move(next));
+        out.push_back({drainLabel(q, u.addr), std::move(next)});
     }
     return out;
 }

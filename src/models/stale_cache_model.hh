@@ -28,6 +28,7 @@
 #include "execution/execution.hh"
 #include "models/state_enc.hh"
 #include "models/thread_ctx.hh"
+#include "models/transition.hh"
 #include "program/program.hh"
 
 namespace wo {
@@ -64,11 +65,30 @@ class StaleCacheModel
     State initial() const;
     bool isFinal(const State &s) const;
     std::vector<State> successors(const State &s) const;
+    std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
     Outcome outcome(const State &s) const;
     std::string encode(const State &s) const;
 
     /** Human-readable state rendering (for witness chains/debugging). */
     std::string dump(const State &s) const;
+
+    /** The bound program. */
+    const Program &program() const { return prog_; }
+
+    /**
+     * Stores broadcast updates into every other processor's inbox and
+     * synchronization barriers wait on every inbox, so any processor that
+     * may still write or synchronize conflicts with everyone (the
+     * explorer's footprint reduction must not treat its accesses as
+     * per-location).
+     */
+    static constexpr bool stores_broadcast = true;
+
+    /**
+     * Pending deliveries update only the receiving processor's private
+     * copy, so they expose no cross-processor location footprint.
+     */
+    void pendingAddrs(const State &, ProcId, std::vector<Addr> &) const {}
 
   private:
     const Program &prog_;

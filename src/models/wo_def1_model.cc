@@ -38,6 +38,15 @@ std::vector<WoDef1Model::State>
 WoDef1Model::successors(const State &s) const
 {
     std::vector<State> out;
+    for (auto &ls : labeledSuccessors(s))
+        out.push_back(std::move(ls.state));
+    return out;
+}
+
+std::vector<LabeledSucc<WoDef1Model::State>>
+WoDef1Model::labeledSuccessors(const State &s) const
+{
+    std::vector<LabeledSucc<State>> out;
 
     for (ProcId p = 0; p < prog_.numThreads(); ++p) {
         const ThreadCtx &t = s.threads[p];
@@ -50,7 +59,7 @@ WoDef1Model::successors(const State &s) const
             const Value v = fwd ? *fwd : s.mem[i->addr];
             State next = s;
             completeAccess(prog_.thread(p), next.threads[p], v);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::store_data: {
@@ -60,7 +69,7 @@ WoDef1Model::successors(const State &s) const
             next.pools[p].push_back(
                 PendingWrite{i->addr, storeValue(*i, t)});
             completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::sync_load:
@@ -75,7 +84,7 @@ WoDef1Model::successors(const State &s) const
             if (i->writesMemory())
                 next.mem[i->addr] = storeValue(*i, t);
             completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           default:
@@ -84,7 +93,8 @@ WoDef1Model::successors(const State &s) const
         }
     }
 
-    // Drain steps.
+    // Drain steps.  poolMayDrain admits only the oldest pending write per
+    // location, so (p, addr) uniquely names each drain edge.
     for (ProcId p = 0; p < prog_.numThreads(); ++p) {
         const auto &pool = s.pools[p];
         for (std::size_t k = 0; k < pool.size(); ++k) {
@@ -95,7 +105,7 @@ WoDef1Model::successors(const State &s) const
             next.pools[p].erase(next.pools[p].begin() +
                                 static_cast<std::ptrdiff_t>(k));
             next.mem[w.addr] = w.value;
-            out.push_back(std::move(next));
+            out.push_back({drainLabel(p, w.addr), std::move(next)});
         }
     }
     return out;

@@ -39,6 +39,15 @@ std::vector<WoDrf0Model::State>
 WoDrf0Model::successors(const State &s) const
 {
     std::vector<State> out;
+    for (auto &ls : labeledSuccessors(s))
+        out.push_back(std::move(ls.state));
+    return out;
+}
+
+std::vector<LabeledSucc<WoDrf0Model::State>>
+WoDrf0Model::labeledSuccessors(const State &s) const
+{
+    std::vector<LabeledSucc<State>> out;
 
     for (ProcId p = 0; p < prog_.numThreads(); ++p) {
         const ThreadCtx &t = s.threads[p];
@@ -51,7 +60,7 @@ WoDrf0Model::successors(const State &s) const
             const Value v = fwd ? *fwd : s.mem[i->addr];
             State next = s;
             completeAccess(prog_.thread(p), next.threads[p], v);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::store_data: {
@@ -61,7 +70,7 @@ WoDrf0Model::successors(const State &s) const
             next.pools[p].push_back(
                 PendingWrite{i->addr, storeValue(*i, t)});
             completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::sync_load:
@@ -92,7 +101,7 @@ WoDrf0Model::successors(const State &s) const
                     p, static_cast<std::uint32_t>(next.pools[p].size())};
             }
             completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           default:
@@ -125,7 +134,7 @@ WoDrf0Model::successors(const State &s) const
                 }
                 ++it;
             }
-            out.push_back(std::move(next));
+            out.push_back({drainLabel(p, w.addr), std::move(next)});
         }
     }
     return out;

@@ -45,6 +45,7 @@
 #include "execution/execution.hh"
 #include "models/pending_pool.hh"
 #include "models/thread_ctx.hh"
+#include "models/transition.hh"
 #include "program/program.hh"
 
 namespace wo {
@@ -94,11 +95,23 @@ class WoDrf0Model
     State initial() const;
     bool isFinal(const State &s) const;
     std::vector<State> successors(const State &s) const;
+    std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
     Outcome outcome(const State &s) const;
     std::string encode(const State &s) const;
 
     /** Human-readable state rendering (for witness chains/debugging). */
     std::string dump(const State &s) const;
+
+    /** The bound program. */
+    const Program &program() const { return prog_; }
+
+    /** Locations @p p's pending writes will still write to memory. */
+    void
+    pendingAddrs(const State &s, ProcId p, std::vector<Addr> &out) const
+    {
+        for (const auto &w : s.pools[p])
+            out.push_back(w.addr);
+    }
 
   private:
     const Program &prog_;

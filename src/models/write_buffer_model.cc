@@ -38,6 +38,15 @@ std::vector<WriteBufferModel::State>
 WriteBufferModel::successors(const State &s) const
 {
     std::vector<State> out;
+    for (auto &ls : labeledSuccessors(s))
+        out.push_back(std::move(ls.state));
+    return out;
+}
+
+std::vector<LabeledSucc<WriteBufferModel::State>>
+WriteBufferModel::labeledSuccessors(const State &s) const
+{
+    std::vector<LabeledSucc<State>> out;
 
     // Instruction steps.
     for (ProcId p = 0; p < prog_.numThreads(); ++p) {
@@ -59,7 +68,7 @@ WriteBufferModel::successors(const State &s) const
             }
             State next = s;
             completeAccess(prog_.thread(p), next.threads[p], v);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::store_data: {
@@ -69,7 +78,7 @@ WriteBufferModel::successors(const State &s) const
             next.buffers[p].push_back(
                 BufEntry{i->addr, storeValue(*i, t)});
             completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           case Opcode::sync_load:
@@ -84,7 +93,7 @@ WriteBufferModel::successors(const State &s) const
             if (i->writesMemory())
                 next.mem[i->addr] = storeValue(*i, t);
             completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back(std::move(next));
+            out.push_back({instrLabel(p), std::move(next)});
             break;
           }
           default:
@@ -101,7 +110,7 @@ WriteBufferModel::successors(const State &s) const
         BufEntry e = next.buffers[p].front();
         next.buffers[p].erase(next.buffers[p].begin());
         next.mem[e.addr] = e.value;
-        out.push_back(std::move(next));
+        out.push_back({drainLabel(p, e.addr), std::move(next)});
     }
     return out;
 }

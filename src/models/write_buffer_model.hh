@@ -23,6 +23,7 @@
 #include "execution/execution.hh"
 #include "models/state_enc.hh"
 #include "models/thread_ctx.hh"
+#include "models/transition.hh"
 #include "program/program.hh"
 
 namespace wo {
@@ -59,11 +60,23 @@ class WriteBufferModel
     State initial() const;
     bool isFinal(const State &s) const;
     std::vector<State> successors(const State &s) const;
+    std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
     Outcome outcome(const State &s) const;
     std::string encode(const State &s) const;
 
     /** Human-readable state rendering (for witness chains/debugging). */
     std::string dump(const State &s) const;
+
+    /** The bound program. */
+    const Program &program() const { return prog_; }
+
+    /** Locations @p p's buffered stores will still write to memory. */
+    void
+    pendingAddrs(const State &s, ProcId p, std::vector<Addr> &out) const
+    {
+        for (const auto &e : s.buffers[p])
+            out.push_back(e.addr);
+    }
 
   private:
     const Program &prog_;

@@ -17,6 +17,9 @@ const char *violationKindName(ViolationKind k)
     case ViolationKind::counter_undrained: return "counter_undrained";
     case ViolationKind::reserve_leak: return "reserve_leak";
     case ViolationKind::unperformed_op: return "unperformed_op";
+    case ViolationKind::dpor_divergence: return "dpor_divergence";
+    case ViolationKind::axiom_divergence: return "axiom_divergence";
+    case ViolationKind::def2_subset: return "def2_subset";
     }
     return "?";
 }

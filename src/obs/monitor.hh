@@ -53,7 +53,14 @@
 
 namespace wo {
 
-/** What broke.  Everything except drf0_race blames the hardware. */
+/**
+ * What broke.  Everything except drf0_race blames the hardware.  The
+ * last three kinds are raised by the campaign's dual-engine verify
+ * cells (src/campaign/verify.hh), not by the online monitor: they name
+ * a disagreement between two independent checking engines (or a broken
+ * Definition-2 subset claim), and ride the same shrink / dedup /
+ * reproducer pipeline as the monitor's runtime findings.
+ */
 enum class ViolationKind : std::uint8_t
 {
     drf0_race,         //!< conflicting accesses unordered by hb (software)
@@ -63,6 +70,9 @@ enum class ViolationKind : std::uint8_t
     counter_undrained, //!< counter nonzero after a completed run
     reserve_leak,      //!< reserve bit held while the counter reads zero
     unperformed_op,    //!< completed run left operations unperformed
+    dpor_divergence,   //!< DPOR and BFS explorers disagree on an outcome set
+    axiom_divergence,  //!< axiomatic SC set != operational SC explorer set
+    def2_subset,       //!< DRF0 program saw non-SC outcomes on a claiming model
 };
 
 /** Stable printable kind name (stats key / report label). */
@@ -77,7 +87,7 @@ const char *violationKindName(ViolationKind k);
 bool violationKindFromName(const std::string &name, ViolationKind &out);
 
 /** Number of ViolationKind values (for iteration). */
-inline constexpr int num_violation_kinds = 7;
+inline constexpr int num_violation_kinds = 10;
 
 /**
  * Does this kind indict the hardware?  Races are the software breaking

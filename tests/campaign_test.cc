@@ -22,6 +22,7 @@
 #include "campaign/journal.hh"
 #include "campaign/scheduler.hh"
 #include "campaign/shrink.hh"
+#include "campaign/verify.hh"
 #include "common/random.hh"
 #include "obs/json.hh"
 #include "program/workload.hh"
@@ -890,6 +891,93 @@ TEST(CampaignTimeline, ProfileEmitsFoldedStacksAndOneTraceLanePerThread)
     const std::string js = sum.toJson().dump();
     EXPECT_NE(js.find("\"profiler\""), std::string::npos);
     EXPECT_NE(js.find("\"folded\""), std::string::npos);
+}
+
+// ---------------------------------------------------- verify campaigns
+
+TEST(Campaign, VerifyCellsRunCleanWithoutASeededBug)
+{
+    // With no seeded fault the three checking engines agree on every
+    // cell: loop-bearing programs may honestly report inconclusive and
+    // counterexample escapes report nonsc, but nothing may blame the
+    // hardware and nothing may file a reproducer.
+    CampaignCfg cfg;
+    cfg.jobs = 2;
+    cfg.cells = 10;
+    cfg.out_dir = testing::TempDir() + "camp_verify_clean";
+    cfg.seed = 61;
+    cfg.verify = true;
+    cfg.verify_models = {"sc"};
+    cfg.max_states = 20'000;
+    auto sum = runCampaign(cfg);
+    EXPECT_EQ(sum.ran + sum.skipped, 10u);
+    EXPECT_TRUE(sum.hardwareClean());
+    EXPECT_EQ(sum.hw, 0u);
+    EXPECT_GT(sum.clean, 0u);
+
+    // The journal records verify cells under the untimed key scheme
+    // with verify-specific verdicts only.
+    auto lines =
+        journalCells(cfg.out_dir + "/campaign.journal.jsonl");
+    ASSERT_EQ(lines.size(), sum.ran);
+    for (const auto &l : lines) {
+        EXPECT_TRUE(l.verdict == "clean" || l.verdict == "racy" ||
+                    l.verdict == "nonsc" ||
+                    l.verdict == "inconclusive")
+            << l.key << ": " << l.verdict;
+    }
+}
+
+TEST(Campaign, SeededAxiomBugIsFoundShrunkAndReproducible)
+{
+    // The acceptance path: a seeded axiomatic-vs-operational
+    // disagreement must flow through the campaign as an auto-filed,
+    // shrunk reproducer with a .verify.txt evidence report, and the
+    // emitted minimum must still reproduce under the dual-engine
+    // predicate when reassembled from disk.
+    CampaignCfg cfg;
+    cfg.jobs = 2;
+    cfg.cells = 12;
+    cfg.out_dir = testing::TempDir() + "camp_verify_bug";
+    cfg.seed = 71;
+    cfg.verify = true;
+    cfg.verify_models = {"sc"};
+    cfg.max_states = 20'000;
+    cfg.inject_axiom_bug = true;
+    cfg.shrink_max_runs = 60;
+    auto sum = runCampaign(cfg);
+    EXPECT_FALSE(sum.hardwareClean());
+    EXPECT_GT(sum.hw, 0u);
+    ASSERT_GE(sum.failures.size(), 1u);
+    for (const auto &f : sum.failures) {
+        EXPECT_EQ(f.kind, "axiom_divergence") << f.dedup;
+        EXPECT_TRUE(f.reproduced) << f.dedup;
+        EXPECT_LE(f.instructions, f.orig_instructions) << f.dedup;
+
+        // The reproducer reassembles and still diverges.
+        AsmResult re = assembleString(slurp(f.repro_path));
+        ASSERT_TRUE(re.ok()) << f.repro_path;
+        VerifyCfg vcfg;
+        vcfg.max_states = 20'000;
+        vcfg.axiom.inject_bug = true;
+        EXPECT_TRUE(verifyReproduces(*re.program, "sc",
+                                     ViolationKind::axiom_divergence,
+                                     vcfg))
+            << f.repro_path;
+
+        // The evidence report sits next to the .wo and names the
+        // disagreement.
+        std::string ev_path = f.repro_path;
+        ev_path.replace(ev_path.size() - 3, 3, ".verify.txt");
+        const std::string ev = slurp(ev_path);
+        ASSERT_FALSE(ev.empty()) << ev_path;
+        EXPECT_NE(ev.find("verdict=hw:axiom_divergence"),
+                  std::string::npos)
+            << ev;
+        EXPECT_NE(ev.find("axiomatic and operational SC disagree"),
+                  std::string::npos)
+            << ev;
+    }
 }
 
 TEST(CampaignTimeline, ProfiledRunMatchesUnprofiledVerdicts)

@@ -168,6 +168,10 @@ TEST(FleetProto, SpecRoundTrips)
     spec.shrink = false;
     spec.shrink_max_runs = 9;
     spec.inject_reserve_bug = true;
+    spec.verify = true;
+    spec.verify_models = {"sc", "stale"};
+    spec.max_states = 5'000;
+    spec.inject_axiom_bug = true;
 
     FleetCampaignSpec back;
     std::string err;
@@ -181,6 +185,26 @@ TEST(FleetProto, SpecRoundTrips)
     EXPECT_EQ(back.shrink, spec.shrink);
     EXPECT_EQ(back.shrink_max_runs, spec.shrink_max_runs);
     EXPECT_EQ(back.inject_reserve_bug, spec.inject_reserve_bug);
+    EXPECT_EQ(back.verify, spec.verify);
+    EXPECT_EQ(back.verify_models, spec.verify_models);
+    EXPECT_EQ(back.max_states, spec.max_states);
+    EXPECT_EQ(back.inject_axiom_bug, spec.inject_axiom_bug);
+}
+
+TEST(FleetProto, SpecRejectsUnknownVerifyModel)
+{
+    // Model names travel verbatim in the spec; the codec must reject
+    // a name the registry does not know before any worker burns a
+    // lease discovering it.
+    FleetCampaignSpec spec;
+    std::string err;
+    EXPECT_FALSE(fleetSpecFromJson(
+        jsonParse(R"({"verify": true, "verify_models": "sc,tso"})")
+            .value,
+        spec, &err));
+    EXPECT_NE(err.find("tso"), std::string::npos);
+    EXPECT_FALSE(fleetSpecFromJson(
+        jsonParse(R"({"max_states": 0})").value, spec, &err));
 }
 
 TEST(FleetProto, SpecDefaultsEmptyPoliciesToCampaignTrio)

@@ -7,11 +7,22 @@
  *         refined synchronization model).
  *
  *     wotool explore <file> [--model sc|wb|net|stale|def1|drf0|drf0ro]
- *         Exhaustive outcome set on an abstract machine.
+ *                    [--algo dpor|bfs|both] [--axiom] [--max-states N]
+ *                    [--witness N]
+ *         Exhaustive outcome set on an abstract machine.  The default
+ *         engine is sleep-set DPOR with hashed-state dedup; --algo bfs
+ *         runs the naive golden reference instead, --algo both runs
+ *         the two and compares outcome sets (plus the reduction
+ *         ratio).  --axiom additionally cross-checks the operational
+ *         SC machine against the independent axiomatic evaluator
+ *         (src/axiom/).  Exit 0 when everything agrees, 1 on an engine
+ *         divergence, 3 when a state/step budget left the result
+ *         inconclusive.  See docs/EXPLORE.md.
  *
- *     wotool verify  <file> [--model ...]
+ *     wotool verify  <file> [--model ...] [--max-states N]
  *         Definition-2 conformance: is the machine's outcome set within
- *         SC's for this program?
+ *         SC's for this program?  A truncated or stuck exploration
+ *         never yields a verdict: the result is INCONCLUSIVE, exit 3.
  *
  *     wotool run     <file> [--policy sc|def1|drf0|drf0ro] [--hop N]
  *                    [--jitter N] [--seed N] [--trace]
@@ -43,13 +54,20 @@
  *                     [--out-dir DIR] [--resume] [--policy LIST]
  *                     [--programs F1,F2,...] [--seed N] [--no-shrink]
  *                     [--max-events N] [--inject-reserve-bug]
+ *                     [--verify] [--verify-models LIST]
+ *                     [--max-states N] [--inject-axiom-bug]
  *                     [--serve-port N] [--serve-addr A]
  *         Bulk Definition-2 verification: fan a fuzzed stream of
  *         (program x policy x seed) cells over a work-stealing worker
  *         fleet, shrink every hardware violation to a minimal .wo
  *         reproducer, and journal everything so a killed campaign
  *         resumes where it stopped.  Exits nonzero iff a hardware
- *         violation survived shrinking.  --serve-port mounts the live
+ *         violation survived shrinking.  --verify switches the stream
+ *         to model-checking cells (program x model): DPOR vs BFS vs
+ *         axiomatic-SC cross-checks whose disagreements auto-file
+ *         shrunk reproducers the same way (see docs/EXPLORE.md);
+ *         --inject-axiom-bug seeds a deliberate axiomatic bug to
+ *         exercise that path end to end.  --serve-port mounts the live
  *         control plane (/healthz, /metrics, /progress, /events); run
  *         and monitor accept it too.  See docs/CAMPAIGN.md and
  *         docs/OBSERVABILITY.md.
@@ -76,6 +94,7 @@
  * See src/asm/assembler.hh for the input grammar.
  */
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -87,7 +106,9 @@
 #include <vector>
 
 #include "asm/assembler.hh"
+#include "axiom/axiom_eval.hh"
 #include "campaign/scheduler.hh"
+#include "campaign/verify.hh"
 #include "fleet/client.hh"
 #include "fleet/coordinator.hh"
 #include "fleet/proto.hh"
@@ -99,12 +120,7 @@
 #include "hb/dot.hh"
 #include "hb/lemma1.hh"
 #include "hb/race.hh"
-#include "models/network_model.hh"
-#include "models/sc_model.hh"
-#include "models/stale_cache_model.hh"
-#include "models/wo_def1_model.hh"
-#include "models/wo_drf0_model.hh"
-#include "models/write_buffer_model.hh"
+#include "models/model_registry.hh"
 #include "obs/artifact.hh"
 #include "obs/httpd.hh"
 #include "obs/json.hh"
@@ -265,58 +281,169 @@ cmdCheck(const Program &prog, int argc, char **argv)
     return v.obeys ? 0 : 1;
 }
 
+/**
+ * Dispatch to the model named by --model (default drf0) through the
+ * shared registry (models/model_registry.hh), so the CLI surface and
+ * the campaign's verify cells always spell the same machine list.
+ */
 template <typename Fn>
 int
 withModel(const Program &prog, const char *model, Fn &&fn)
 {
-    std::string m = model ? model : "drf0";
-    if (m == "sc")
-        return fn(ScModel(prog));
-    if (m == "wb")
-        return fn(WriteBufferModel(prog));
-    if (m == "net")
-        return fn(NetworkReorderModel(prog));
-    if (m == "stale")
-        return fn(StaleCacheModel(prog));
-    if (m == "def1")
-        return fn(WoDef1Model(prog));
-    if (m == "drf0")
-        return fn(WoDrf0Model(prog));
-    if (m == "drf0ro")
-        return fn(WoDrf0Model(prog, 4, /*weak_sync_read=*/true));
-    std::fprintf(stderr, "unknown model '%s'\n", m.c_str());
-    return 2;
+    const std::string m = model ? model : "drf0";
+    int rc = 2;
+    if (!withModelByName(prog, m, [&](auto &mm) { rc = fn(mm); })) {
+        std::fprintf(stderr, "unknown model '%s'\n", m.c_str());
+        return 2;
+    }
+    return rc;
 }
 
+/** Is @p name a registered model flag name? */
+bool
+knownModel(const std::string &name)
+{
+    const auto &known = modelNames();
+    return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+/** Print the outcomes in @p a but not in @p b, prefixed @p label. */
+void
+printOnly(const char *label, const std::set<Outcome> &a,
+          const std::set<Outcome> &b)
+{
+    for (const auto &o : a)
+        if (!b.count(o))
+            std::printf("  only %s: %s\n", label, o.toString().c_str());
+}
+
+/**
+ * Exit contract (shared with `verify`): 0 all engines agree, 1 an
+ * engine disagreement (a checker bug caught red-handed), 2 usage,
+ * 3 inconclusive (a budget was hit; no verdict either way).
+ */
 int
 cmdExplore(const Program &prog, int argc, char **argv)
 {
-    const char *witness = opt(argc, argv, "--witness");
-    return withModel(prog, opt(argc, argv, "--model"), [&](auto &&model) {
-        auto r = exploreOutcomes(model);
-        std::printf("%s on %s: %llu states, %zu outcome(s)%s%s\n",
-                    prog.name().c_str(), model.name(),
-                    static_cast<unsigned long long>(r.states),
-                    r.outcomes.size(), r.truncated ? " [truncated]" : "",
-                    r.stuck ? " [stuck states]" : "");
+    ExploreCfg cfg;
+    std::uint64_t witness_idx = 0;
+    if (!parseU64Opt(argc, argv, "--max-states", 1, cfg.max_states) ||
+        !parseU64Opt(argc, argv, "--witness", 0, witness_idx))
+        return 2;
+    const bool want_witness = opt(argc, argv, "--witness") != nullptr;
+    const char *algo_v = opt(argc, argv, "--algo");
+    const std::string algo = algo_v ? algo_v : "dpor";
+    if (algo != "dpor" && algo != "bfs" && algo != "both") {
+        badOpt("--algo", "dpor|bfs|both", algo.c_str());
+        return 2;
+    }
+    cfg.algo = algo == "bfs" ? ExploreAlgo::bfs : ExploreAlgo::dpor;
+    const bool axiom = flag(argc, argv, "--axiom");
+
+    return withModel(prog, opt(argc, argv, "--model"), [&](auto &model) {
+        auto engineLine = [&](const char *engine,
+                              const ExploreResult &r) {
+            std::printf("%s on %s [%s]: %llu states, %zu outcome(s)%s%s\n",
+                        prog.name().c_str(), model.name(), engine,
+                        static_cast<unsigned long long>(r.states),
+                        r.outcomes.size(),
+                        r.truncated ? " [truncated]" : "",
+                        r.stuck ? " [stuck states]" : "");
+        };
+        auto r = exploreOutcomes(model, cfg);
+        engineLine(algo == "bfs" ? "bfs" : "dpor", r);
+        if (cfg.algo == ExploreAlgo::dpor)
+            std::printf("  dpor: %llu transitions, %llu sleep-pruned, "
+                        "%llu revisits subsumed\n",
+                        static_cast<unsigned long long>(r.transitions),
+                        static_cast<unsigned long long>(r.sleep_pruned),
+                        static_cast<unsigned long long>(
+                            r.revisit_pruned));
         std::size_t idx = 0;
         for (const auto &o : r.outcomes)
             std::printf("  #%zu %s\n", idx++, o.toString().c_str());
-        if (witness) {
-            const std::size_t want = std::strtoull(witness, nullptr, 0);
-            if (want >= r.outcomes.size()) {
-                std::fprintf(stderr, "--witness %zu out of range\n", want);
+
+        bool disagreement = false;
+        bool inconclusive = !r.conclusive();
+        if (algo == "both") {
+            ExploreCfg bcfg = cfg;
+            bcfg.algo = ExploreAlgo::bfs;
+            auto b = exploreOutcomesBfs(model, bcfg);
+            engineLine("bfs", b);
+            if (!b.conclusive())
+                inconclusive = true;
+            else if (r.conclusive()) {
+                if (r.outcomes == b.outcomes) {
+                    std::printf(
+                        "engines agree; DPOR visited %llu of %llu BFS "
+                        "states (%.1f%%)\n",
+                        static_cast<unsigned long long>(r.states),
+                        static_cast<unsigned long long>(b.states),
+                        b.states ? 100.0 * static_cast<double>(r.states) /
+                                       static_cast<double>(b.states)
+                                 : 100.0);
+                } else {
+                    disagreement = true;
+                    std::printf("ENGINE DIVERGENCE: DPOR and BFS outcome "
+                                "sets differ\n");
+                    printOnly("dpor", r.outcomes, b.outcomes);
+                    printOnly("bfs", b.outcomes, r.outcomes);
+                }
+            }
+        }
+        if (axiom) {
+            const AxiomResult ax = axiomScOutcomes(prog);
+            ScModel sc_model(prog);
+            const auto sc = exploreOutcomes(sc_model, cfg);
+            std::printf("axiomatic SC: %zu outcome(s), %llu candidates, "
+                        "%llu judgements%s\n",
+                        ax.outcomes.size(),
+                        static_cast<unsigned long long>(ax.candidates),
+                        static_cast<unsigned long long>(ax.judgements),
+                        ax.conclusive ? "" : " [inconclusive]");
+            if (!ax.conclusive) {
+                std::printf("  (%s)\n", ax.why_inconclusive.c_str());
+                inconclusive = true;
+            } else if (!sc.conclusive()) {
+                inconclusive = true;
+            } else if (ax.outcomes != sc.outcomes) {
+                disagreement = true;
+                std::printf("ENGINE DIVERGENCE: axiomatic and "
+                            "operational SC outcome sets differ\n");
+                printOnly("axiomatic", ax.outcomes, sc.outcomes);
+                printOnly("operational", sc.outcomes, ax.outcomes);
+            } else {
+                std::printf("axiomatic and operational SC agree "
+                            "(%zu outcomes)\n",
+                            ax.outcomes.size());
+            }
+        }
+
+        if (want_witness) {
+            if (witness_idx >= r.outcomes.size()) {
+                std::fprintf(stderr, "--witness %llu out of range\n",
+                             static_cast<unsigned long long>(
+                                 witness_idx));
                 return 2;
             }
             auto it = r.outcomes.begin();
-            std::advance(it, static_cast<std::ptrdiff_t>(want));
+            std::advance(it, static_cast<std::ptrdiff_t>(witness_idx));
             auto chain = witnessChain(model, *it);
-            std::printf("\nwitness chain for outcome #%zu (%zu states):\n",
-                        want, chain.size());
+            std::printf("\nwitness chain for outcome #%llu "
+                        "(%zu states):\n",
+                        static_cast<unsigned long long>(witness_idx),
+                        chain.size());
             for (std::size_t k = 0; k < chain.size(); ++k) {
                 std::printf("--- state %zu ---\n%s", k,
                             model.dump(chain[k]).c_str());
             }
+        }
+        if (disagreement)
+            return 1;
+        if (inconclusive) {
+            std::printf("inconclusive: a state/step budget was hit; "
+                        "no verdict (raise --max-states)\n");
+            return 3;
         }
         return 0;
     });
@@ -325,8 +452,22 @@ cmdExplore(const Program &prog, int argc, char **argv)
 int
 cmdVerify(const Program &prog, int argc, char **argv)
 {
-    return withModel(prog, opt(argc, argv, "--model"), [&](auto &&model) {
-        auto c = conformsForProgram(model, prog);
+    ExploreCfg cfg;
+    if (!parseU64Opt(argc, argv, "--max-states", 1, cfg.max_states))
+        return 2;
+    return withModel(prog, opt(argc, argv, "--model"), [&](auto &model) {
+        auto c = conformsForProgram(model, prog, cfg);
+        // A truncated or stuck exploration saw only part of an outcome
+        // set; neither conformance verdict would be trustworthy.
+        if (!c.reliable) {
+            std::printf("%s on %s: INCONCLUSIVE (budget hit at %llu "
+                        "hardware / %llu SC states; raise "
+                        "--max-states)\n",
+                        prog.name().c_str(), model.name(),
+                        static_cast<unsigned long long>(c.hw.states),
+                        static_cast<unsigned long long>(c.sc.states));
+            return 3;
+        }
         std::printf("%s on %s: %s\n", prog.name().c_str(), model.name(),
                     c.toString().c_str());
         return c.appears_sc ? 0 : 1;
@@ -371,24 +512,24 @@ parseRunCfg(int argc, char **argv, SystemCfg &cfg)
 {
     if (!parsePolicy(argc, argv, cfg.policy))
         return false;
-    if (const char *v = opt(argc, argv, "--hop"))
-        cfg.net.hop_latency = std::strtoull(v, nullptr, 0);
-    if (const char *v = opt(argc, argv, "--jitter"))
-        cfg.net.jitter = std::strtoull(v, nullptr, 0);
-    if (const char *v = opt(argc, argv, "--seed"))
-        cfg.net.seed = std::strtoull(v, nullptr, 0);
+    // Strict numeric options: trailing garbage ("10x", "3,000") exits 2
+    // with the uniform badOpt diagnostic, never silently truncates.
+    std::uint64_t flight_capacity = cfg.flight_recorder_capacity;
+    if (!parseU64Opt(argc, argv, "--hop", 0, cfg.net.hop_latency) ||
+        !parseU64Opt(argc, argv, "--jitter", 0, cfg.net.jitter) ||
+        !parseU64Opt(argc, argv, "--seed", 0, cfg.net.seed) ||
+        !parseU64Opt(argc, argv, "--flight-capacity", 1,
+                     flight_capacity) ||
+        !parseU64Opt(argc, argv, "--sample-interval", 0,
+                     cfg.sample_interval) ||
+        !parseU64Opt(argc, argv, "--max-events", 1, cfg.max_events))
+        return false;
     cfg.monitor = flag(argc, argv, "--monitor");
-    cfg.flight_recorder = flag(argc, argv, "--flight-recorder");
-    if (const char *v = opt(argc, argv, "--flight-capacity")) {
-        cfg.flight_recorder = true;
-        cfg.flight_recorder_capacity = std::strtoull(v, nullptr, 0);
-        if (cfg.flight_recorder_capacity == 0) {
-            std::fprintf(stderr, "--flight-capacity must be positive\n");
-            return false;
-        }
-    }
-    if (const char *v = opt(argc, argv, "--sample-interval"))
-        cfg.sample_interval = std::strtoull(v, nullptr, 0);
+    cfg.flight_recorder =
+        flag(argc, argv, "--flight-recorder") ||
+        opt(argc, argv, "--flight-capacity") != nullptr;
+    cfg.flight_recorder_capacity =
+        static_cast<std::size_t>(flight_capacity);
     if (const char *v = opt(argc, argv, "--dump-on-fail"))
         cfg.dump_on_fail = v;
     cfg.profile = flag(argc, argv, "--profile");
@@ -405,13 +546,6 @@ parseRunCfg(int argc, char **argv, SystemCfg &cfg)
         cfg.profile_out = v;
     } else if (cfg.profile) {
         cfg.profile_out = "profile.folded.txt";
-    }
-    if (const char *v = opt(argc, argv, "--max-events")) {
-        cfg.max_events = std::strtoull(v, nullptr, 0);
-        if (cfg.max_events == 0) {
-            std::fprintf(stderr, "--max-events must be positive\n");
-            return false;
-        }
     }
     // Fault injection, so a campaign-shrunk counterexample can be
     // replayed under the same (buggy) cache it was found on.
@@ -684,23 +818,36 @@ cmdLitmus(const AsmResult &a)
         cond += (cond.empty() ? "" : " & ") + t.toString();
     std::printf("%s: probe %s\n", prog.name().c_str(), cond.c_str());
 
+    // A found witness outcome is definite even under truncation, but
+    // "forbidden" needs the full state space: a truncated or stuck
+    // exploration without a witness is only INCONCLUSIVE.
+    struct Row
+    {
+        bool allowed;
+        bool conclusive;
+    };
     auto evaluate = [&](const char *label, auto &&model) {
         auto r = exploreOutcomes(model);
         bool allowed = false;
         for (const auto &o : r.outcomes)
             allowed = allowed || probeMatches(a.probe, o);
+        const bool conclusive = allowed || r.conclusive();
         std::printf("  %-22s %s\n", label,
-                    allowed ? "ALLOWED" : "forbidden");
-        return allowed;
+                    allowed      ? "ALLOWED"
+                    : conclusive ? "forbidden"
+                                 : "INCONCLUSIVE");
+        return Row{allowed, conclusive};
     };
-    bool sc = evaluate("SC", ScModel(prog));
+    Row sc = evaluate("SC", ScModel(prog));
     evaluate("write-buffer", WriteBufferModel(prog));
     evaluate("general-network", NetworkReorderModel(prog));
     evaluate("stale-cache", StaleCacheModel(prog));
     evaluate("WO-Def1", WoDef1Model(prog));
     evaluate("WO-DRF0", WoDrf0Model(prog));
     evaluate("WO-DRF0+RO", WoDrf0Model(prog, 4, true));
-    return sc ? 0 : 1;
+    if (!sc.allowed && !sc.conclusive)
+        return 3;
+    return sc.allowed ? 0 : 1;
 }
 
 int
@@ -790,6 +937,32 @@ cmdCampaign(const AsmResult *, int argc, char **argv)
     }
     if (const char *v = opt(argc, argv, "--programs"))
         cfg.program_files = splitCommas(v);
+    // Verify campaigns: model-check program x model cells (dual-engine
+    // explorer + axiomatic cross-check) instead of timed simulations.
+    cfg.verify = flag(argc, argv, "--verify");
+    if (const char *v = opt(argc, argv, "--verify-models")) {
+        cfg.verify = true;
+        for (const auto &name : splitCommas(v)) {
+            if (!knownModel(name)) {
+                badOpt("--verify-models",
+                       "a comma list of sc|wb|net|stale|def1|drf0|"
+                       "drf0ro",
+                       name.c_str());
+                return 2;
+            }
+            cfg.verify_models.push_back(name);
+        }
+        if (cfg.verify_models.empty()) {
+            badOpt("--verify-models", "at least one model name", v);
+            return 2;
+        }
+    }
+    if (flag(argc, argv, "--inject-axiom-bug")) {
+        cfg.verify = true;
+        cfg.inject_axiom_bug = true;
+    }
+    if (!parseU64Opt(argc, argv, "--max-states", 1, cfg.max_states))
+        return 2;
     cfg.shrink = !flag(argc, argv, "--no-shrink");
     cfg.frontier = !flag(argc, argv, "--no-frontier");
     cfg.resume = flag(argc, argv, "--resume");
@@ -979,6 +1152,27 @@ parseFleetSpec(int argc, char **argv, FleetCampaignSpec &spec)
         spec.program_files = splitCommas(v);
     spec.shrink = !flag(argc, argv, "--no-shrink");
     spec.inject_reserve_bug = flag(argc, argv, "--inject-reserve-bug");
+    spec.verify = flag(argc, argv, "--verify");
+    if (const char *v = opt(argc, argv, "--verify-models")) {
+        spec.verify = true;
+        for (const auto &name : splitCommas(v)) {
+            if (!knownModel(name))
+                return badOpt("--verify-models",
+                              "a comma list of sc|wb|net|stale|def1|"
+                              "drf0|drf0ro",
+                              name.c_str());
+            spec.verify_models.push_back(name);
+        }
+        if (spec.verify_models.empty())
+            return badOpt("--verify-models", "at least one model name",
+                          v);
+    }
+    if (flag(argc, argv, "--inject-axiom-bug")) {
+        spec.verify = true;
+        spec.inject_axiom_bug = true;
+    }
+    if (!parseU64Opt(argc, argv, "--max-states", 1, spec.max_states))
+        return false;
     return true;
 }
 
@@ -1093,9 +1287,13 @@ const Command commands[] = {
     {"check", true, wrapCheck, "  check <file> [--weak]\n"},
     {"explore", true, wrapExplore,
      "  explore <file> [--model sc|wb|net|stale|def1|drf0|drf0ro]\n"
-     "          [--witness N]\n"},
+     "          [--algo dpor|bfs|both] [--axiom] [--max-states N]\n"
+     "          [--witness N]   (exit 1 on engine divergence, 3 when\n"
+     "          a budget made the result inconclusive)\n"},
     {"verify", true, wrapVerify,
-     "  verify <file> [--model wb|net|stale|def1|drf0|drf0ro]\n"},
+     "  verify <file> [--model wb|net|stale|def1|drf0|drf0ro]\n"
+     "         [--max-states N]   (exit 3 when exploration was\n"
+     "         truncated/stuck: no conclusive verdict)\n"},
     {"run", true, wrapRun,
      "  run <file> [--policy sc|def1|drf0|drf0ro] [--hop N]\n"
      "      [--jitter N] [--seed N] [--trace] [--dot F]\n"
@@ -1119,11 +1317,16 @@ const Command commands[] = {
      "           [--seed N] [--no-shrink] [--shrink-max-runs N]\n"
      "           [--no-frontier] [--max-events N]\n"
      "           [--sync-every N] [--inject-reserve-bug]\n"
+     "           [--verify] [--verify-models sc,wb,net,...]\n"
+     "           [--max-states N] [--inject-axiom-bug]\n"
      "           [--legacy-queue]\n"
      "           [--profile] [--profile-hz N] [--profile-out F]\n"
      "           [--serve-port N] [--serve-addr A]\n"
      "           (bulk verification; exit 1 iff a hardware violation\n"
-     "           survived shrinking; --profile writes folded stacks +\n"
+     "           survived shrinking; --verify model-checks program x\n"
+     "           model cells -- DPOR vs BFS vs axiomatic SC -- and\n"
+     "           files shrunk reproducers for any disagreement;\n"
+     "           --profile writes folded stacks +\n"
      "           a per-worker Chrome trace under --out-dir;\n"
      "           --serve-port exposes the live /healthz /metrics\n"
      "           /progress /events control plane; --no-frontier runs\n"
@@ -1147,7 +1350,9 @@ const Command commands[] = {
      "  submit --connect host:port [--cells N] [--seed N]\n"
      "         [--policy sc,def1,drf0,...] [--programs F1,F2,...]\n"
      "         [--max-events N] [--no-shrink] [--shrink-max-runs N]\n"
-     "         [--inject-reserve-bug] [--idle-timeout MS] [--quiet]\n"
+     "         [--inject-reserve-bug] [--verify]\n"
+     "         [--verify-models sc,wb,net,...] [--max-states N]\n"
+     "         [--inject-axiom-bug] [--idle-timeout MS] [--quiet]\n"
      "         (enqueue a campaign on a warm fleet, stream progress,\n"
      "         exit with the campaign verdict: 1 iff a hardware\n"
      "         violation was found)\n"},
