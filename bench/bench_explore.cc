@@ -11,11 +11,18 @@
  * means the commutation test or the footprint partition broke, long
  * before any outcome-set divergence would show up in the golden
  * equivalence suite.
+ *
+ * A third section measures the work-stealing parallel DPOR at 1 and 4
+ * workers on the heaviest pair and stamps jobs4_speedup into the
+ * artifact.  Like bench_campaign, rows running more workers than
+ * hardware threads are flagged oversubscribed so the perf gate skips
+ * the speedup assertion instead of reading time-slicing as regression.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asm/assembler.hh"
@@ -123,7 +130,7 @@ main()
                 "corpus ==\n",
                 reps);
     Table t({"model", "dpor states", "bfs states", "ratio",
-             "dpor states/s", "bfs states/s"});
+             "dpor states/s", "bfs states/s", "verdict ms"});
     for (const auto &p : pairs)
         t.addRow({p.model,
                   strprintf("%llu", static_cast<unsigned long long>(
@@ -138,7 +145,8 @@ main()
                   strprintf("%.0f",
                             p.dpor_s > 0 ? p.dpor_states / p.dpor_s : 0),
                   strprintf("%.0f",
-                            p.bfs_s > 0 ? p.bfs_states / p.bfs_s : 0)});
+                            p.bfs_s > 0 ? p.bfs_states / p.bfs_s : 0),
+                  strprintf("%.3f", p.dpor_s / reps * 1000.0)});
     t.print();
     std::printf("Read: the ratio column is the DPOR reduction (BFS "
                 "states per DPOR state, higher is better); it must stay "
@@ -150,6 +158,45 @@ main()
         wo_panic("bench_explore: DPOR explored no fewer states than "
                  "BFS on the racy corpus");
 
+    // Parallel scaling: the heaviest pair (stale-cache: broadcasts
+    // everywhere, the deepest frontier on this corpus) at 1 and 4
+    // work-stealing workers.  Outcomes are bit-identical by contract,
+    // so the only number of interest is wall clock.
+    const unsigned hw = std::thread::hardware_concurrency();
+    constexpr int par_reps = 10;
+    const int par_jobs[] = {1, 4};
+    double par_s[2] = {0, 0};
+    std::uint64_t par_states = 0;
+    for (std::size_t i = 0; i < 2; ++i) {
+        const bool known =
+            withModelByName(prog, "stale", [&](auto &m) {
+                ExploreCfg cfg;
+                cfg.jobs = par_jobs[i];
+                const auto t0 = std::chrono::steady_clock::now();
+                for (int r = 0; r < par_reps; ++r) {
+                    const ExploreResult res = exploreOutcomesDpor(m, cfg);
+                    if (!res.conclusive())
+                        wo_panic("bench_explore: parallel DPOR "
+                                 "inconclusive");
+                    par_states = res.states;
+                }
+                par_s[i] = secondsSince(t0);
+            });
+        if (!known)
+            wo_panic("bench_explore: unknown model");
+    }
+    const double jobs4_speedup =
+        par_s[1] > 0 ? par_s[0] / par_s[1] : 0.0;
+    const bool jobs4_oversub = hw != 0 && 4u > hw;
+    std::printf("Parallel DPOR on stale (%llu states, %d reps): "
+                "jobs1 %.3fs, jobs4 %.3fs, speedup %.2fx%s\n",
+                static_cast<unsigned long long>(par_states), par_reps,
+                par_s[0], par_s[1], jobs4_speedup,
+                jobs4_oversub ? " [oversubscribed: more workers than "
+                                "hardware threads; measures "
+                                "time-slicing, not scaling]"
+                              : "");
+
     Json payload = Json::object();
     payload.set("reps", Json(static_cast<std::uint64_t>(reps)));
     payload.set("dpor_states_per_sec", Json(dpor_rate));
@@ -157,6 +204,11 @@ main()
     payload.set("dpor_reduction_ratio", Json(reduction));
     payload.set("dpor_states", Json(dpor_total));
     payload.set("bfs_states", Json(bfs_total));
+    payload.set("jobs1_wall_s", Json(par_s[0]));
+    payload.set("jobs4_wall_s", Json(par_s[1]));
+    payload.set("jobs4_speedup", Json(jobs4_speedup));
+    payload.set("jobs1_oversubscribed", Json(hw != 0 && 1u > hw));
+    payload.set("jobs4_oversubscribed", Json(jobs4_oversub));
     payload.set("table", tableToJson(t));
     writeBenchArtifact("explore", std::move(payload));
     return 0;

@@ -29,6 +29,8 @@ GATED = [
      "explore DPOR states/sec"),
     ("BENCH_explore.json", "dpor_reduction_ratio",
      "explore DPOR reduction ratio (BFS/DPOR states)"),
+    ("BENCH_explore.json", "jobs4_speedup",
+     "explore parallel DPOR speedup (4 workers)"),
 ]
 
 

@@ -288,6 +288,8 @@ cellResultToJson(const CellResult &r)
     if (r.dpor_states > 0 || r.bfs_states > 0) {
         j.set("dpor_states", Json(r.dpor_states));
         j.set("bfs_states", Json(r.bfs_states));
+        j.set("dpor_probes", Json(r.dpor_probes));
+        j.set("dpor_memo_hits", Json(r.dpor_memo_hits));
     }
     return j;
 }
@@ -328,6 +330,7 @@ runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
         const auto t0 = std::chrono::steady_clock::now();
         VerifyCfg vcfg;
         vcfg.max_states = cell.max_states;
+        vcfg.jobs = cell.explore_jobs;
         vcfg.axiom.inject_bug = cell.inject_axiom_bug;
         VerifyResult v =
             verifyProgramOnModel(*run.program, cell.model, vcfg);
@@ -341,6 +344,8 @@ runCell(const Cell &cell, std::uint64_t max_events, EventQueueKind queue,
         r.nonsc = v.nonsc;
         r.dpor_states = v.dpor.states;
         r.bfs_states = v.bfs.states;
+        r.dpor_probes = v.dpor.commutation_probes;
+        r.dpor_memo_hits = v.dpor.memo_hits;
         if (v.has_violation) {
             r.hw = 1;
             r.total = 1;

@@ -76,6 +76,14 @@ struct Cell
     std::string model = "drf0";         //!< model flag name under check
     std::uint64_t max_states = 200'000; //!< per-engine state budget
     bool inject_axiom_bug = false;      //!< seeded divergence campaigns
+    /**
+     * Worker threads inside each cell's DPOR exploration.  An execution
+     * knob, not a coordinate: parallel results are bit-identical to
+     * sequential ones, so it stays out of key() and the journal --
+     * resuming with a different jobs count must dedup against the same
+     * history.
+     */
+    int explore_jobs = 1;
 
     /**
      * The stable journal/dedup key, e.g.
@@ -192,6 +200,8 @@ struct CellResult
     bool nonsc = false;        //!< hw escaped SC (expected, not a failure)
     std::uint64_t dpor_states = 0; //!< reduced-engine states visited
     std::uint64_t bfs_states = 0;  //!< reference-engine states visited
+    std::uint64_t dpor_probes = 0; //!< independence queries made
+    std::uint64_t dpor_memo_hits = 0; //!< probes answered from the memo
 
     // Host-time span decomposition, journaled per cell so post-hoc
     // tooling (wotool report) can break a campaign's wall clock down

@@ -83,6 +83,7 @@ Fuzzer::baseCell(std::uint64_t index) const
                                         cfg_.verify_models.size()];
         cell.max_states = cfg_.max_states;
         cell.inject_axiom_bug = cfg_.inject_axiom_bug;
+        cell.explore_jobs = cfg_.explore_jobs;
         return cell;
     }
     cell.policy = cfg_.policies[(index / prototypes_.size()) %

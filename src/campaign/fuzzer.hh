@@ -50,6 +50,7 @@ struct FuzzerCfg
     std::vector<std::string> verify_models;
     std::uint64_t max_states = 200'000; //!< per-engine verify budget
     bool inject_axiom_bug = false;      //!< propagate to verify cells
+    int explore_jobs = 1; //!< DPOR threads inside each verify cell
 };
 
 /** The frontier: deterministic base stream + novelty-guided mutation. */

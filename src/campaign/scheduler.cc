@@ -106,6 +106,10 @@ struct alignas(64) WorkerStats
     std::atomic<std::uint64_t> ran{0};
     std::atomic<std::uint64_t> skipped{0};
     std::atomic<std::uint64_t> hw{0};
+    // Verify-cell explorer totals (zero for run campaigns), live so
+    // /metrics can report the memoization rate mid-campaign.
+    std::atomic<std::uint64_t> dpor_probes{0};
+    std::atomic<std::uint64_t> dpor_memo_hits{0};
 
     /**
      * Live per-cell latency, as power-of-two microsecond buckets:
@@ -147,6 +151,9 @@ struct alignas(64) WorkerStats
     void
     classify(const CellResult &r)
     {
+        dpor_probes.fetch_add(r.dpor_probes, std::memory_order_relaxed);
+        dpor_memo_hits.fetch_add(r.dpor_memo_hits,
+                                 std::memory_order_relaxed);
         for (int k = 0; k < num_violation_kinds; ++k)
             by_kind[k] += r.by_kind[k];
         if (r.primary_kind == "materialize_error")
@@ -187,7 +194,7 @@ struct Engine
           fuzzer(FuzzerCfg{c.seed, c.policies, c.program_files,
                            c.inject_reserve_bug, c.verify,
                            c.verify_models, c.max_states,
-                           c.inject_axiom_bug}),
+                           c.inject_axiom_bug, c.explore_jobs}),
           lanes(new Timeline[static_cast<std::size_t>(c.jobs) + 1]),
           journal(c.journal_path,
                   JournalCfg{c.sync_every, c.flush_interval_ms,
@@ -340,6 +347,10 @@ Engine::metricsJson() const
     reg.set("cells.hw_failed", Json(sumLive(&WorkerStats::hw)));
     reg.set("failures.unique",
             Json(unique_failures.load(std::memory_order_relaxed)));
+    reg.set("explore.commutation_probes",
+            Json(sumLive(&WorkerStats::dpor_probes)));
+    reg.set("explore.memo_hits",
+            Json(sumLive(&WorkerStats::dpor_memo_hits)));
     reg.set("frontier.novelty", Json(fuzzer.noveltyCount()));
     reg.set("jobs", Json(static_cast<std::uint64_t>(cfg.jobs)));
     reg.set("done", Json(done.load(std::memory_order_relaxed)));
@@ -500,6 +511,7 @@ Engine::handleFailure(int w, const Cell &cell, CellRun &run)
     const bool is_verify = cell.kind == CellKind::verify;
     VerifyCfg vcfg;
     vcfg.max_states = cell.max_states;
+    vcfg.jobs = cell.explore_jobs;
     vcfg.axiom.inject_bug = cell.inject_axiom_bug;
     ShrinkOutcome s =
         is_verify
@@ -686,6 +698,10 @@ runCampaign(const CampaignCfg &user_cfg)
                 models += std::string(models.empty() ? "" : ",") + m;
             meta.set("verify_models", Json(models));
             meta.set("max_states", Json(cfg.max_states));
+            if (cfg.explore_jobs != 1)
+                meta.set("explore_jobs",
+                         Json(static_cast<std::uint64_t>(
+                             cfg.explore_jobs)));
             if (cfg.inject_axiom_bug)
                 meta.set("inject_axiom_bug", Json(true));
         }

@@ -82,6 +82,13 @@ struct CampaignCfg
     std::vector<std::string> verify_models;
     /** Per-engine state budget of each verify cell. */
     std::uint64_t max_states = 200'000;
+    /**
+     * Worker threads inside each verify cell's DPOR exploration
+     * (`--explore-jobs`; orthogonal to `jobs`, which fans out across
+     * cells).  Bit-identical results at any value keep it out of cell
+     * keys and the journal.
+     */
+    int explore_jobs = 1;
     /** Seeded axiomatic-evaluator fault (cross-check path exercise). */
     bool inject_axiom_bug = false;
     bool progress = false;        //!< live progress line on stderr

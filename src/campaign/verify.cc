@@ -119,6 +119,7 @@ verifyProgramOnModel(const Program &prog, const std::string &model_name,
     ExploreCfg dpor_cfg;
     dpor_cfg.max_states = cfg.max_states;
     dpor_cfg.algo = ExploreAlgo::dpor;
+    dpor_cfg.jobs = cfg.jobs;
     ExploreCfg bfs_cfg;
     bfs_cfg.max_states = cfg.max_states;
     bfs_cfg.algo = ExploreAlgo::bfs;

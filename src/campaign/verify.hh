@@ -53,6 +53,9 @@ struct VerifyCfg
     /** Per-engine state budget (each engine explores independently). */
     std::uint64_t max_states = 200'000;
 
+    /** Worker threads inside each DPOR exploration (1 = sequential). */
+    int jobs = 1;
+
     /** Axiomatic-evaluator budgets and the seeded-bug test hook. */
     AxiomCfg axiom;
 };

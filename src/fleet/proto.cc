@@ -66,6 +66,8 @@ fleetSpecToJson(const FleetCampaignSpec &spec)
             models += std::string(models.empty() ? "" : ",") + m;
         j.set("verify_models", Json(models));
         j.set("max_states", Json(spec.max_states));
+        j.set("explore_jobs",
+              Json(static_cast<std::uint64_t>(spec.explore_jobs)));
         j.set("inject_axiom_bug", Json(spec.inject_axiom_bug));
     }
     return j;
@@ -148,6 +150,10 @@ fleetSpecFromJson(const Json &j, FleetCampaignSpec &out,
         spec.max_states = v->uintValue();
     if (spec.max_states == 0)
         return fail("spec.max_states must be positive");
+    if (const Json *v = j.find("explore_jobs"); v && v->isNumber())
+        spec.explore_jobs = static_cast<int>(v->uintValue());
+    if (spec.explore_jobs < 1)
+        return fail("spec.explore_jobs must be positive");
     if (const Json *v = j.find("inject_axiom_bug"); v && v->isBool())
         spec.inject_axiom_bug = v->boolValue();
     out = std::move(spec);

@@ -89,6 +89,7 @@ struct FleetCampaignSpec
     bool verify = false;
     std::vector<std::string> verify_models; //!< empty = all models
     std::uint64_t max_states = 200'000;     //!< per-engine budget
+    int explore_jobs = 1; //!< DPOR threads inside each verify cell
     bool inject_axiom_bug = false;          //!< seeded divergence
 };
 

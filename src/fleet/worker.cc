@@ -174,6 +174,7 @@ FleetWorker::executeLease(const Json &msg)
     fcfg.verify_models = spec.verify_models;
     fcfg.max_states = spec.max_states;
     fcfg.inject_axiom_bug = spec.inject_axiom_bug;
+    fcfg.explore_jobs = spec.explore_jobs;
     const Fuzzer fuzzer(fcfg);
 
     std::atomic<std::size_t> cursor{0};
@@ -209,6 +210,7 @@ FleetWorker::executeLease(const Json &msg)
                 scfg.max_runs = spec.shrink ? spec.shrink_max_runs : 1;
                 VerifyCfg vcfg;
                 vcfg.max_states = cell.max_states;
+                vcfg.jobs = cell.explore_jobs;
                 vcfg.axiom.inject_bug = cell.inject_axiom_bug;
                 const ShrinkOutcome s =
                     cell.kind == CellKind::verify

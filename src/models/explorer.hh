@@ -14,26 +14,42 @@
  *    graph.  Simple, obviously correct, and the golden reference the
  *    equivalence suite holds the reduced engine to.
  *
- *  - exploreOutcomesDpor (the default): depth-first search with *sleep
- *    sets* [Godefroid] and hashed-state deduplication.  Two transitions
- *    enabled in the same state are independent when executing them in
- *    either order is (a) possible and (b) lands in the identical state;
- *    a sleep set carries transitions whose subtrees are already covered
- *    by an equivalent interleaving, and exploring them again is skipped.
- *    Independence is decided by *concretely commuting* the two
- *    transitions and comparing the encoded results -- never by a static
- *    footprint approximation.  That matters: in the stale-cache model
- *    two stores to different locations broadcast inbox updates whose
- *    arrival orders differ, so an addr-disjointness rule would wrongly
- *    commute them.  Concrete commutation is sound for any model by
- *    construction.
+ *  - exploreOutcomesDpor (the default): work-stealing depth-first search
+ *    with *sleep sets* [Godefroid] and hashed-state deduplication.  Two
+ *    transitions enabled in the same state are independent when executing
+ *    them in either order is (a) possible and (b) lands in the identical
+ *    state; a sleep set carries transitions whose subtrees are already
+ *    covered by an equivalent interleaving, and exploring them again is
+ *    skipped.  Independence is decided by *concretely commuting* the two
+ *    transitions and comparing the resulting state keys -- never by a
+ *    static footprint approximation.  That matters: in the stale-cache
+ *    model two stores to different locations broadcast inbox updates
+ *    whose arrival orders differ, so an addr-disjointness rule would
+ *    wrongly commute them.  Concrete commutation is sound for any model
+ *    by construction.  Verdicts are memoized per (state key, transition
+ *    pair) in a per-worker direct-mapped cache, so re-entries of a state
+ *    under a different sleep set answer their probes without
+ *    re-executing the model.
  *
- *    Hashed-state dedup: visited states are keyed by a 128-bit FNV pair
- *    over the StateEnc bytes rather than the bytes themselves, and each
- *    key stores the antichain of sleep sets it was explored with.  A
- *    revisit is pruned only when a previous visit's sleep set is a
- *    subset of the current one (the previous visit explored at least
- *    everything this visit would).
+ *    Hashed-state dedup: search nodes are (state, sleep set) pairs keyed
+ *    by a 128-bit FNV pair streamed straight off the state bytes (no
+ *    intermediate string; see HashEnc) with the sleep labels folded on
+ *    top.  A node is explored exactly once no matter which worker, in
+ *    which order, reaches it -- the explored set is a fixpoint of the
+ *    transition relation, independent of scheduling.  That is what makes
+ *    `jobs N` bit-identical to `jobs 1`: outcomes and the deterministic
+ *    counters (states, transitions, sleep_pruned, revisit_pruned,
+ *    commutation_probes) never depend on the interleaving of workers.
+ *
+ *    Parallelism (`ExploreCfg::jobs`): each worker owns a deque of
+ *    self-contained tasks {state, sleep set, optional successor list};
+ *    it pushes and pops its own tail (depth-first) and idle workers
+ *    steal unexplored backtrack branches from another worker's head.
+ *    The visited table is sharded (alignas(64), one mutex per shard).
+ *    A task carries the successor list its parent already computed
+ *    during commutation probing, so each state's successors are
+ *    materialized once globally instead of once per probe plus once at
+ *    expansion -- the single biggest cost in the old engine.
  *
  * Model concept:
  *     struct State;                         // copyable machine state
@@ -42,7 +58,8 @@
  *     std::vector<State> successors(const State&) const;
  *     std::vector<LabeledSucc<State>> labeledSuccessors(const State&) const;
  *     Outcome outcome(const State&) const;  // defined for final states
- *     std::string encode(const State&) const; // injective
+ *     std::string encode(const State&) const; // injective (cold paths)
+ *     StateHash hashState(const State&) const; // streamed key (hot path)
  *     static const char *name();
  */
 
@@ -50,17 +67,22 @@
 #define WO_MODELS_EXPLORER_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/logging.hh"
 #include "execution/execution.hh"
+#include "models/state_enc.hh"
 #include "models/transition.hh"
 #include "program/program.hh"
 
@@ -80,6 +102,13 @@ struct ExploreCfg
 
     /** Engine selection. */
     ExploreAlgo algo = ExploreAlgo::dpor;
+
+    /**
+     * Worker threads for the DPOR engine (results are bit-identical for
+     * any value; BFS, the golden reference, ignores it and stays
+     * single-threaded on purpose).
+     */
+    int jobs = 1;
 };
 
 /** What exploration found. */
@@ -92,10 +121,31 @@ struct ExploreResult
 
     std::uint64_t transitions = 0;    //!< edges executed
     std::uint64_t sleep_pruned = 0;   //!< edges skipped by sleep sets
-    std::uint64_t revisit_pruned = 0; //!< re-entries pruned by subsumption
+    std::uint64_t revisit_pruned = 0; //!< re-entries deduplicated
+    std::uint64_t commutation_probes = 0; //!< independence queries made
+    std::uint64_t memo_hits = 0;      //!< probes answered from the memo
+    std::uint64_t visited_bytes = 0;  //!< approx. visited-table footprint
 
     /** Outcome set conclusively computed (neither truncated nor stuck)? */
     bool conclusive() const { return !truncated && !stuck; }
+
+    /**
+     * Schedule-independent equality: the fields the engine guarantees
+     * bit-identical across jobs counts and across runs.  memo_hits
+     * (whether a probe was answered from cache depends on cross-worker
+     * timing) and visited_bytes (table size at the instant a truncated
+     * search stopped) are diagnostics, deliberately excluded.
+     */
+    bool
+    operator==(const ExploreResult &o) const
+    {
+        return outcomes == o.outcomes && states == o.states &&
+               truncated == o.truncated && stuck == o.stuck &&
+               transitions == o.transitions &&
+               sleep_pruned == o.sleep_pruned &&
+               revisit_pruned == o.revisit_pruned &&
+               commutation_probes == o.commutation_probes;
+    }
 
     /** True iff every outcome also appears in @p reference. */
     bool
@@ -217,40 +267,35 @@ exploreOutcomesBfs(const Model &model, const ExploreCfg &cfg = {})
 
 namespace explorer_detail {
 
-/** 128-bit key over the StateEnc bytes: two FNV-1a variants. */
-struct StateKey
+/** Fold a transition label's bytes into a running FNV pair. */
+inline void
+foldLabel(std::uint64_t &a, std::uint64_t &b, const TransLabel &l)
 {
-    std::uint64_t lo, hi;
-    bool operator==(const StateKey &other) const = default;
-};
-
-struct StateKeyHash
-{
-    std::size_t
-    operator()(const StateKey &k) const
-    {
-        return static_cast<std::size_t>(k.lo ^
-                                        (k.hi * 0x9e3779b97f4a7c15ULL));
-    }
-};
-
-inline StateKey
-hashEncoding(const std::string &enc)
-{
-    std::uint64_t a = 0xcbf29ce484222325ULL; // FNV-1a offset basis
-    std::uint64_t b = 0x6c62272e07bb0142ULL; // second basis (FNV-0 of seed)
-    for (unsigned char c : enc) {
-        a = (a ^ c) * 0x100000001b3ULL;
-        b = (b ^ c) * 0x00000100000001b3ULL ^ (b >> 47);
-    }
-    return StateKey{a, b};
+    auto fold = [&](const auto &v) {
+        const auto *p = reinterpret_cast<const unsigned char *>(&v);
+        for (std::size_t i = 0; i < sizeof(v); ++i) {
+            a = (a ^ p[i]) * 0x100000001b3ULL;
+            b = (b ^ p[i]) * 0x00000100000001b3ULL ^ (b >> 47);
+        }
+    };
+    fold(l.proc);
+    fold(l.kind);
+    fold(l.addr);
 }
 
-/** Is sorted label set @p a a subset of sorted label set @p b? */
-inline bool
-labelSubset(const std::vector<TransLabel> &a, const std::vector<TransLabel> &b)
+/**
+ * Dedup key of a search node: the state hash with the (sorted) sleep-set
+ * labels folded on top.  Exact-match dedup on this key makes the set of
+ * explored nodes a schedule-independent fixpoint, which is what the
+ * parallel engine's determinism guarantee rests on.
+ */
+inline StateHash
+nodeKey(const StateHash &state, const std::vector<TransLabel> &sleep)
 {
-    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+    std::uint64_t a = state.lo, b = state.hi;
+    for (const TransLabel &l : sleep)
+        foldLabel(a, b, l);
+    return StateHash{a, b};
 }
 
 /**
@@ -373,84 +418,340 @@ modelBroadcasts()
         return false;
 }
 
-} // namespace explorer_detail
-
 /**
- * Sleep-set DPOR with hashed-state deduplication.  Explores a sound
- * subset of the BFS transition graph that still reaches every final
- * state (the equivalence suite asserts outcome sets are bit-identical to
- * exploreOutcomesBfs across programs x models).
+ * The work-stealing sleep-set DPOR engine.  One instance per
+ * exploration; `jobs <= 1` runs the identical task machinery inline on
+ * the calling thread, so there is exactly one code path to trust.
  */
 template <typename Model>
-ExploreResult
-exploreOutcomesDpor(const Model &model, const ExploreCfg &cfg = {})
+class DporEngine
 {
+  public:
+    DporEngine(const Model &model, const ExploreCfg &cfg)
+        : model_(model), cfg_(cfg),
+          jobs_(cfg.jobs > 1 ? static_cast<unsigned>(cfg.jobs) : 1u),
+          visited_(visit_shards), slots_(jobs_), workers_(jobs_)
+    {
+        for (unsigned i = 0; i < jobs_; ++i)
+            workers_[i].id = i;
+    }
+
+    ExploreResult
+    run()
+    {
+        spawn(0, Task{model_.initial(), {}, std::nullopt});
+        if (jobs_ == 1) {
+            workerLoop(workers_[0]);
+        } else {
+            std::vector<std::thread> threads;
+            threads.reserve(jobs_);
+            for (unsigned i = 0; i < jobs_; ++i)
+                threads.emplace_back(
+                    [this, i] { workerLoop(workers_[i]); });
+            for (auto &t : threads)
+                t.join();
+        }
+        return merge();
+    }
+
+  private:
     using State = typename Model::State;
     using Succs = std::vector<LabeledSucc<State>>;
-    using Sleep = std::vector<TransLabel>; // sorted, unique
-    using namespace explorer_detail;
+    using Sleep = std::vector<TransLabel>;
 
-    ExploreResult result;
-
-    // visited: state-hash -> antichain of sleep sets it was entered with.
-    std::unordered_map<StateKey, std::vector<Sleep>, StateKeyHash> visited;
-
-    struct Frame
+    /**
+     * A self-contained unit of work: enter `state` with `sleep` asleep.
+     * `succs` carries the successor list the parent already materialized
+     * for its commutation probes, if any, so it is never computed twice.
+     */
+    struct Task
     {
         State state;
-        Succs succs;
-        Sleep sleep;                  // asleep on entry
-        std::vector<TransLabel> done; // explored from here, in order
-        std::size_t next = 0;         // cursor into succs
-        // Successor lists of this frame's children, keyed by the label
-        // that reaches them; memoizes the commutation probes.
-        std::map<TransLabel, Succs> child_succs;
+        Sleep sleep;
+        std::optional<Succs> succs;
     };
-    std::vector<Frame> stack;
 
-    // Footprints of reachable code, memoized per (proc, pc).
-    std::map<std::pair<ProcId, Pc>, ProcFoot> code_cache;
-    constexpr bool broadcast = modelBroadcasts<Model>();
+    static constexpr std::size_t visit_shards = 64;
 
-    // Persistent-set reduction: split the processors into components that
-    // may still influence each other (conservative future footprints) and
-    // keep only the cheapest component's transitions.  Processors in other
-    // components commute with everything the chosen component will ever
-    // do, so delaying them to a canonical later point loses no final
-    // state.
-    auto persistentFilter = [&](const State &s, Succs &succs) {
-        const Program &prog = model.program();
+    /**
+     * One visited-set shard: an open-addressing table of 128-bit node
+     * keys (linear probing, power-of-two size, grown at 1/2 load).
+     * Unlike the node-based std::unordered_set it replaces, inserting
+     * allocates nothing except on growth, and the keys sit contiguous
+     * for the probe walk.  The all-zero key doubles as the empty-slot
+     * marker and gets a dedicated flag.
+     */
+    struct alignas(64) VisitShard
+    {
+        std::mutex mu;
+        std::vector<StateHash> slots;
+        std::size_t used = 0;
+        bool zero_present = false;
+
+        /** True if @p k was absent and is now recorded. */
+        bool
+        insert(const StateHash &k)
+        {
+            if (!k.lo && !k.hi) {
+                if (zero_present)
+                    return false;
+                zero_present = true;
+                ++used;
+                return true;
+            }
+            if ((used + 1) * 2 > slots.size())
+                grow();
+            std::size_t i = StateHashHash{}(k) & (slots.size() - 1);
+            while (slots[i].lo || slots[i].hi) {
+                if (slots[i] == k)
+                    return false;
+                i = (i + 1) & (slots.size() - 1);
+            }
+            slots[i] = k;
+            ++used;
+            return true;
+        }
+
+        /** Actual table footprint, for ExploreResult::visited_bytes. */
+        std::size_t
+        bytes() const
+        {
+            return slots.size() * sizeof(StateHash);
+        }
+
+      private:
+        void
+        grow()
+        {
+            std::vector<StateHash> old(slots.empty() ? 64
+                                                     : slots.size() * 2);
+            old.swap(slots);
+            for (const StateHash &k : old) {
+                if (!k.lo && !k.hi)
+                    continue;
+                std::size_t i = StateHashHash{}(k) & (slots.size() - 1);
+                while (slots[i].lo || slots[i].hi)
+                    i = (i + 1) & (slots.size() - 1);
+                slots[i] = k;
+            }
+        }
+    };
+
+    /** Key of a memoized commutation verdict: state x unordered pair. */
+    struct MemoKey
+    {
+        StateHash at;
+        TransLabel a, b; // canonical: a < b
+        bool operator==(const MemoKey &other) const = default;
+    };
+
+    struct MemoKeyHash
+    {
+        std::size_t
+        operator()(const MemoKey &k) const
+        {
+            std::uint64_t a = k.at.lo, b = k.at.hi;
+            foldLabel(a, b, k.a);
+            foldLabel(a, b, k.b);
+            return StateHashHash{}(StateHash{a, b});
+        }
+    };
+
+    /**
+     * One slot of the per-worker commutation memo: a direct-mapped,
+     * lossy cache.  Losing an entry only costs re-deriving the same
+     * deterministic verdict, so no locks, no allocation, no rehashing
+     * -- a probe is one array index whether it hits or misses.
+     */
+    struct MemoEntry
+    {
+        MemoKey key{};
+        bool verdict = false;
+        bool valid = false;
+    };
+
+    // Small enough to zero per exploration and stay cache-resident:
+    // the hits that exist (re-entries of a just-expanded state) are
+    // temporally local, so a big table would only add cold misses.
+    static constexpr std::size_t memo_slots = std::size_t{1} << 9;
+
+    struct alignas(64) WorkerSlot
+    {
+        std::mutex mu;
+        std::deque<Task> dq;
+    };
+
+    /** Per-worker partial result and caches; merged after the join. */
+    struct alignas(64) Worker
+    {
+        unsigned id = 0;
+        std::set<Outcome> outcomes;
+        std::uint64_t transitions = 0;
+        std::uint64_t sleep_pruned = 0;
+        std::uint64_t revisit_pruned = 0;
+        std::uint64_t commutation_probes = 0;
+        std::uint64_t memo_hits = 0;
+        // Footprints of reachable code, memoized per (proc, pc).
+        std::map<std::pair<ProcId, Pc>, ProcFoot> code_cache;
+        // Commutation-verdict cache (direct-mapped, lossy).
+        std::vector<MemoEntry> memo = std::vector<MemoEntry>(memo_slots);
+        // persistentFilter scratch, reused across nodes (no per-node
+        // allocation).
+        std::vector<ProcFoot> foot;
+        std::vector<char> active;
+        std::vector<Addr> queued;
+        std::vector<ProcId> uf_parent;
+        std::vector<std::uint32_t> uf_count;
+    };
+
+    void
+    spawn(unsigned id, Task t)
+    {
+        outstanding_.fetch_add(1, std::memory_order_relaxed);
+        WorkerSlot &s = slots_[id];
+        std::lock_guard<std::mutex> g(s.mu);
+        s.dq.push_back(std::move(t));
+    }
+
+    bool
+    popLocal(unsigned id, Task &out)
+    {
+        WorkerSlot &s = slots_[id];
+        std::lock_guard<std::mutex> g(s.mu);
+        if (s.dq.empty())
+            return false;
+        out = std::move(s.dq.back());
+        s.dq.pop_back();
+        return true;
+    }
+
+    bool
+    steal(unsigned id, Task &out)
+    {
+        for (unsigned i = 1; i < jobs_; ++i) {
+            WorkerSlot &s = slots_[(id + i) % jobs_];
+            std::lock_guard<std::mutex> g(s.mu);
+            if (s.dq.empty())
+                continue;
+            // Steal the oldest (root-most) unexplored backtrack branch:
+            // the biggest subtree, touched least recently by its owner.
+            out = std::move(s.dq.front());
+            s.dq.pop_front();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    workerLoop(Worker &w)
+    {
+        Task t;
+        for (;;) {
+            if (popLocal(w.id, t) || steal(w.id, t)) {
+                runTask(std::move(t), w);
+                outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+                continue;
+            }
+            if (outstanding_.load(std::memory_order_acquire) == 0)
+                break;
+            std::this_thread::yield();
+        }
+    }
+
+    void
+    runTask(Task t, Worker &w)
+    {
+        if (truncated_.load(std::memory_order_relaxed))
+            return; // a tripped budget ends the search; drain fast
+
+        const bool is_final = model_.isFinal(t.state);
+        if (is_final)
+            t.sleep.clear(); // final states carry no transitions to skip
+
+        const StateHash sh = model_.hashState(t.state);
+        const StateHash key = nodeKey(sh, t.sleep);
+        {
+            VisitShard &shard =
+                visited_[static_cast<std::size_t>(key.lo) % visit_shards];
+            std::lock_guard<std::mutex> g(shard.mu);
+            if (!shard.insert(key)) {
+                // Exactly one worker wins each node; everyone else is a
+                // re-entry.
+                ++w.revisit_pruned;
+                return;
+            }
+        }
+        if (cfg_.max_states) {
+            const std::uint64_t n =
+                states_.fetch_add(1, std::memory_order_relaxed);
+            if (n >= cfg_.max_states) {
+                truncated_.store(true, std::memory_order_relaxed);
+                return;
+            }
+        } else {
+            states_.fetch_add(1, std::memory_order_relaxed);
+        }
+
+        if (is_final) {
+            w.outcomes.insert(model_.outcome(t.state));
+            return;
+        }
+        Succs succs = t.succs ? std::move(*t.succs)
+                              : model_.labeledSuccessors(t.state);
+        if (succs.empty()) {
+            stuck_.store(true, std::memory_order_relaxed);
+            return;
+        }
+        persistentFilter(t.state, succs, w);
+        expand(sh, t.sleep, std::move(succs), w);
+    }
+
+    /**
+     * Persistent-set reduction: split the processors into components
+     * that may still influence each other (conservative future
+     * footprints) and keep only the cheapest component's transitions.
+     * Processors in other components commute with everything the chosen
+     * component will ever do, so delaying them to a canonical later
+     * point loses no final state.
+     */
+    void
+    persistentFilter(const State &s, Succs &succs, Worker &w)
+    {
+        const Program &prog = model_.program();
         const ProcId n = prog.numThreads();
         if (n <= 1 || succs.size() <= 1)
             return;
-        std::vector<ProcFoot> foot(n);
-        std::vector<bool> active(n, false);
-        std::vector<Addr> queued;
+        constexpr bool broadcast = modelBroadcasts<Model>();
+        auto &foot = w.foot;
+        auto &active = w.active;
+        foot.assign(n, ProcFoot{});
+        active.assign(n, 0);
         for (ProcId p = 0; p < n; ++p) {
             const auto &t = s.threads[p];
             if (!t.halted) {
-                active[p] = true;
+                active[p] = 1;
                 const auto key = std::make_pair(p, t.pc);
-                auto it = code_cache.find(key);
-                if (it == code_cache.end()) {
+                auto it = w.code_cache.find(key);
+                if (it == w.code_cache.end()) {
                     ProcFoot cf;
                     codeFootprint(prog.thread(p), t.pc, cf);
-                    it = code_cache.emplace(key, cf).first;
+                    it = w.code_cache.emplace(key, cf).first;
                 }
                 foot[p] = it->second;
             }
-            queued.clear();
-            model.pendingAddrs(s, p, queued);
-            for (Addr a : queued) {
+            w.queued.clear();
+            model_.pendingAddrs(s, p, w.queued);
+            for (Addr a : w.queued) {
                 footAddWrite(foot[p], a);
                 foot[p].writes_any = true;
-                active[p] = true;
+                active[p] = 1;
             }
         }
         for (const auto &ls : succs)
-            active[ls.label.proc] = true; // e.g. pending inbox deliveries
+            active[ls.label.proc] = 1; // e.g. pending inbox deliveries
         // Union-find over conflicting active processors.
-        std::vector<ProcId> parent(n);
+        auto &parent = w.uf_parent;
+        parent.resize(n);
         for (ProcId p = 0; p < n; ++p)
             parent[p] = p;
         auto find = [&](ProcId p) {
@@ -462,14 +763,15 @@ exploreOutcomesDpor(const Model &model, const ExploreCfg &cfg = {})
             if (!active[p])
                 continue;
             for (ProcId q = p + 1; q < n; ++q) {
-                if (!active[q] || !footsConflict(foot[p], foot[q],
-                                                 broadcast))
+                if (!active[q] ||
+                    !footsConflict(foot[p], foot[q], broadcast))
                     continue;
                 parent[find(p)] = find(q);
             }
         }
         // Cheapest component with at least one enabled transition wins.
-        std::vector<std::uint32_t> count(n, 0);
+        auto &count = w.uf_count;
+        count.assign(n, 0);
         for (const auto &ls : succs)
             ++count[find(ls.label.proc)];
         ProcId best = invalid_proc;
@@ -484,127 +786,218 @@ exploreOutcomesDpor(const Model &model, const ExploreCfg &cfg = {})
         std::erase_if(succs, [&](const LabeledSucc<State> &ls) {
             return find(ls.label.proc) != best;
         });
-    };
+    }
 
-    // Enter state s with sleep set `sleep`: dedup, classify, maybe push.
-    auto tryEnter = [&](State s, Sleep sleep) {
-        const bool is_final = model.isFinal(s);
-        if (is_final)
-            sleep.clear(); // final states carry no transitions to skip
-
-        const StateKey key = hashEncoding(model.encode(s));
-        auto &entries = visited[key];
-        for (const auto &prev : entries) {
-            if (labelSubset(prev, sleep)) {
-                // A previous entry explored a superset of what this entry
-                // would; nothing new here.
-                ++result.revisit_pruned;
-                return;
-            }
-        }
-        if (cfg.max_states && result.states >= cfg.max_states) {
-            result.truncated = true;
-            return;
-        }
-        // Keep the antichain minimal: this sleep set replaces any stored
-        // superset of it.
-        std::erase_if(entries, [&](const Sleep &prev) {
-            return labelSubset(sleep, prev);
-        });
-        entries.push_back(sleep);
-        ++result.states;
-
-        if (is_final) {
-            result.outcomes.insert(model.outcome(s));
-            return;
-        }
-        Succs succs = model.labeledSuccessors(s);
-        if (succs.empty()) {
-            result.stuck = true;
-            return;
-        }
-        persistentFilter(s, succs);
-        stack.push_back(Frame{std::move(s), std::move(succs),
-                              std::move(sleep), {}, 0, {}});
-    };
-
-    tryEnter(model.initial(), {});
-
-    while (!stack.empty() && !result.truncated) {
-        Frame &f = stack.back();
-        if (f.next >= f.succs.size()) {
-            stack.pop_back();
-            continue;
-        }
-        const std::size_t at = f.next++;
-        const TransLabel label = f.succs[at].label;
-        if (std::binary_search(f.sleep.begin(), f.sleep.end(), label)) {
-            // Asleep: an equivalent interleaving already covers this
-            // subtree.
-            ++result.sleep_pruned;
-            continue;
-        }
-        ++result.transitions;
-
-        // Successor list of the chosen child, computed once and shared by
-        // every commutation probe below (and implicitly by the child's
-        // own frame if it survives dedup).
-        const State &child = f.succs[at].state;
+    /**
+     * Compute every child node of the state hashed @p sh in label order
+     * -- the same order the sequential DFS explored them, so the
+     * per-child sleep sets (and with them the whole explored fixpoint)
+     * are independent of worker scheduling -- then spawn the children
+     * as tasks, handing each one the successor list its probes already
+     * materialized.
+     */
+    void
+    expand(const StateHash &sh, const Sleep &sleep, Succs succs, Worker &w)
+    {
+        // Successor lists of this node's children, keyed by the label
+        // that reaches them; shared by every commutation probe and then
+        // donated to the child tasks.  A flat array beats a map here:
+        // the branching factor is small, and every key is a label of
+        // `succs` (probes only chase enabled transitions), so reserving
+        // once means no reallocation and stable references throughout.
+        std::vector<std::pair<TransLabel, Succs>> child_succs;
+        child_succs.reserve(succs.size());
         auto childSuccsOf = [&](const TransLabel &l,
                                 const State &st) -> const Succs & {
-            auto it = f.child_succs.find(l);
-            if (it == f.child_succs.end())
-                it = f.child_succs.emplace(l, model.labeledSuccessors(st))
-                         .first;
-            return it->second;
+            for (const auto &entry : child_succs)
+                if (entry.first == l)
+                    return entry.second;
+            return child_succs.emplace_back(l, model_.labeledSuccessors(st))
+                .second;
         };
-        auto findLabel = [](const Succs &succs,
+        auto findLabel = [](const Succs &list,
                             const TransLabel &l) -> const State * {
-            for (const auto &ls : succs)
+            for (const auto &ls : list)
                 if (ls.label == l)
                     return &ls.state;
             return nullptr;
         };
-
-        // Transitions that stay asleep in the child: everything asleep
-        // here (or already explored from here) that concretely commutes
-        // with the chosen label.
-        Sleep child_sleep;
-        auto considerSleeper = [&](const TransLabel &t) {
-            if (t == label)
-                return;
-            // t is enabled in f.state: find both one-step states.
-            const State *s_t = findLabel(f.succs, t);
-            if (!s_t)
-                return; // defensive: treat as dependent
-            // t must stay enabled after the chosen label...
-            const State *s_lt = findLabel(childSuccsOf(label, child), t);
-            if (!s_lt)
-                return;
-            // ...and the chosen label after t...
-            const State *s_tl = findLabel(childSuccsOf(t, *s_t), label);
-            if (!s_tl)
-                return;
-            // ...and both orders must land in the identical state.
-            if (model.encode(*s_lt) == model.encode(*s_tl))
-                child_sleep.push_back(t);
+        auto cachedSuccs = [&](const TransLabel &l) -> const Succs * {
+            for (const auto &entry : child_succs)
+                if (entry.first == l)
+                    return &entry.second;
+            return nullptr;
         };
-        for (const TransLabel &t : f.sleep)
-            considerSleeper(t);
-        for (const TransLabel &t : f.done)
-            considerSleeper(t);
-        std::sort(child_sleep.begin(), child_sleep.end());
-        child_sleep.erase(
-            std::unique(child_sleep.begin(), child_sleep.end()),
-            child_sleep.end());
 
-        f.done.push_back(label);
-        // Note: tryEnter may push onto `stack`, invalidating `f`; it is
-        // the last use of this frame in the iteration.
-        State child_copy = f.succs[at].state;
-        tryEnter(std::move(child_copy), std::move(child_sleep));
+        struct Child
+        {
+            std::size_t at;
+            Sleep sleep;
+        };
+        std::vector<Child> children;
+        children.reserve(succs.size());
+        Sleep done; // labels already expanded from here, in order
+
+        for (std::size_t at = 0; at < succs.size(); ++at) {
+            const TransLabel label = succs[at].label;
+            if (std::binary_search(sleep.begin(), sleep.end(), label)) {
+                // Asleep: an equivalent interleaving already covers this
+                // subtree.
+                ++w.sleep_pruned;
+                continue;
+            }
+            ++w.transitions;
+            const State &child = succs[at].state;
+
+            // Transitions that stay asleep in the child: everything
+            // asleep here (or already expanded from here) that
+            // concretely commutes with the chosen label.
+            Sleep child_sleep;
+            auto considerSleeper = [&](const TransLabel &t) {
+                if (t == label)
+                    return;
+                ++w.commutation_probes;
+                if (commutes(sh, succs, child, label, t, childSuccsOf,
+                             cachedSuccs, findLabel, w))
+                    child_sleep.push_back(t);
+            };
+            for (const TransLabel &t : sleep)
+                considerSleeper(t);
+            for (const TransLabel &t : done)
+                considerSleeper(t);
+            std::sort(child_sleep.begin(), child_sleep.end());
+            child_sleep.erase(
+                std::unique(child_sleep.begin(), child_sleep.end()),
+                child_sleep.end());
+
+            done.push_back(label);
+            children.push_back(Child{at, std::move(child_sleep)});
+        }
+
+        // Spawn in reverse: the local deque is LIFO, so the first child
+        // is popped first, matching the sequential DFS order (and its
+        // memory profile).  Stealers take from the other end.
+        for (std::size_t i = children.size(); i-- > 0;) {
+            Child &c = children[i];
+            std::optional<Succs> carried;
+            for (auto &entry : child_succs)
+                if (entry.first == succs[c.at].label) {
+                    // Each label spawns at most once, so donating by
+                    // move without erasing is safe.
+                    carried.emplace(std::move(entry.second));
+                    break;
+                }
+            spawn(w.id, Task{std::move(succs[c.at].state),
+                             std::move(c.sleep), std::move(carried)});
+        }
     }
 
+    /**
+     * Do @p label and @p t concretely commute at the state hashed
+     * @p sh?  Memoized per (state, unordered pair): a verdict depends
+     * only on the state, so re-entries under a different sleep set
+     * answer from the table instead of re-executing the model.
+     */
+    template <typename ChildSuccsOf, typename CachedSuccs,
+              typename FindLabel>
+    bool
+    commutes(const StateHash &sh, const Succs &succs, const State &child,
+             const TransLabel &label, const TransLabel &t,
+             ChildSuccsOf &childSuccsOf, CachedSuccs &cachedSuccs,
+             FindLabel &findLabel, Worker &w)
+    {
+        const MemoKey mk{sh, std::min(label, t), std::max(label, t)};
+        MemoEntry &e = w.memo[MemoKeyHash{}(mk) & (memo_slots - 1)];
+        if (e.valid && e.key == mk) {
+            ++w.memo_hits;
+            return e.verdict;
+        }
+        bool verdict = false;
+        // t is enabled here: find both one-step states.
+        const State *s_t = findLabel(succs, t);
+        if (s_t) {
+            // t must stay enabled after the chosen label...  (label's
+            // list is materialized anyway: it is donated to the spawned
+            // child.)
+            const State *s_lt = findLabel(childSuccsOf(label, child), t);
+            if (s_lt) {
+                // ...and the chosen label after t.  When t is asleep its
+                // child is never expanded from this frame, so don't
+                // materialize that child's whole successor list; chase
+                // the single (t, label) edge instead -- unless a probe
+                // for an expanded sibling already paid for the list.
+                const State *s_tl = nullptr;
+                std::optional<State> stepped;
+                if (const Succs *have = cachedSuccs(t)) {
+                    s_tl = findLabel(*have, label);
+                } else {
+                    stepped = model_.stepLabel(*s_t, label);
+                    if (stepped)
+                        s_tl = &*stepped;
+                }
+                // Both orders must land in the identical state (direct
+                // comparison: exact, allocation-free, and with early
+                // exit on the first differing field).
+                if (s_tl)
+                    verdict = *s_lt == *s_tl;
+            }
+        }
+        e = MemoEntry{mk, verdict, true};
+        return verdict;
+    }
+
+    ExploreResult
+    merge()
+    {
+        ExploreResult result;
+        const std::uint64_t claimed =
+            states_.load(std::memory_order_relaxed);
+        result.states = cfg_.max_states
+                            ? std::min(claimed, cfg_.max_states)
+                            : claimed;
+        result.truncated = truncated_.load(std::memory_order_relaxed);
+        result.stuck = stuck_.load(std::memory_order_relaxed);
+        for (Worker &w : workers_) {
+            result.outcomes.insert(w.outcomes.begin(), w.outcomes.end());
+            result.transitions += w.transitions;
+            result.sleep_pruned += w.sleep_pruned;
+            result.revisit_pruned += w.revisit_pruned;
+            result.commutation_probes += w.commutation_probes;
+            result.memo_hits += w.memo_hits;
+        }
+        for (VisitShard &shard : visited_)
+            result.visited_bytes += shard.bytes();
+        return result;
+    }
+
+    const Model &model_;
+    const ExploreCfg &cfg_;
+    const unsigned jobs_;
+
+    std::vector<VisitShard> visited_;
+    std::vector<WorkerSlot> slots_;
+    std::vector<Worker> workers_;
+
+    std::atomic<std::uint64_t> states_{0};
+    std::atomic<std::uint64_t> outstanding_{0};
+    std::atomic<bool> truncated_{false};
+    std::atomic<bool> stuck_{false};
+};
+
+} // namespace explorer_detail
+
+/**
+ * Sleep-set DPOR with hashed-node deduplication and work stealing.
+ * Explores a sound subset of the BFS transition graph that still reaches
+ * every final state (the equivalence suite asserts outcome sets are
+ * bit-identical to exploreOutcomesBfs across programs x models x jobs).
+ */
+template <typename Model>
+ExploreResult
+exploreOutcomesDpor(const Model &model, const ExploreCfg &cfg = {})
+{
+    explorer_detail::DporEngine<Model> engine(model, cfg);
+    ExploreResult result = engine.run();
     if (result.truncated)
         warn("%s: DPOR exploration truncated at %llu states", Model::name(),
              static_cast<unsigned long long>(result.states));

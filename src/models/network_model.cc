@@ -58,82 +58,108 @@ NetworkReorderModel::successors(const State &s) const
     return out;
 }
 
+void
+NetworkReorderModel::instrSucc(const State &s, ProcId p,
+                               std::vector<LabeledSucc<State>> &out) const
+{
+    const ThreadCtx &t = s.threads[p];
+    if (t.halted)
+        return;
+    const Instruction *i = currentAccess(prog_.thread(p), t);
+    switch (i->op) {
+      case Opcode::load_data: {
+        // The read's arrival at its module is instantaneous, so it may
+        // overtake older in-flight writes to other modules; it may not
+        // overtake the processor's own write to the same location.
+        if (hasFlightTo(s.flights[p], i->addr))
+            break;
+        State next = s;
+        completeAccess(prog_.thread(p), next.threads[p], s.mem[i->addr]);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      case Opcode::store_data: {
+        if (s.flights[p].size() >= max_flights_)
+            break;
+        State next = s;
+        next.flights[p].push_back(Flight{i->addr, storeValue(*i, t)});
+        completeAccess(prog_.thread(p), next.threads[p], 0);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      case Opcode::sync_load:
+      case Opcode::sync_store:
+      case Opcode::test_and_set: {
+        if (!s.flights[p].empty())
+            break; // wait for every in-flight write to arrive
+        State next = s;
+        const Value old = next.mem[i->addr];
+        if (i->writesMemory())
+            next.mem[i->addr] = storeValue(*i, t);
+        completeAccess(prog_.thread(p), next.threads[p], old);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      default:
+        wo_panic("unexpected opcode at access point: %s",
+                 opcodeName(i->op));
+    }
+}
+
+void
+NetworkReorderModel::drainSuccs(const State &s, ProcId p,
+                                std::optional<Addr> only,
+                                std::vector<LabeledSucc<State>> &out) const
+{
+    // Any in-flight write whose processor has no older in-flight write
+    // to the same location may reach memory.
+    const auto &fl = s.flights[p];
+    for (std::size_t k = 0; k < fl.size(); ++k) {
+        if (only && fl[k].addr != *only)
+            continue;
+        bool oldest_to_addr = true;
+        for (std::size_t j = 0; j < k; ++j) {
+            if (fl[j].addr == fl[k].addr) {
+                oldest_to_addr = false;
+                break;
+            }
+        }
+        if (!oldest_to_addr)
+            continue;
+        State next = s;
+        Flight f = next.flights[p][k];
+        next.flights[p].erase(next.flights[p].begin() +
+                              static_cast<std::ptrdiff_t>(k));
+        next.mem[f.addr] = f.value;
+        // Unique per (p, addr): only the oldest flight per location
+        // may arrive, so no two arrivals of p share an address.
+        out.push_back({drainLabel(p, f.addr), std::move(next)});
+    }
+}
+
 std::vector<LabeledSucc<NetworkReorderModel::State>>
 NetworkReorderModel::labeledSuccessors(const State &s) const
 {
     std::vector<LabeledSucc<State>> out;
-
-    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
-        const ThreadCtx &t = s.threads[p];
-        if (t.halted)
-            continue;
-        const Instruction *i = currentAccess(prog_.thread(p), t);
-        switch (i->op) {
-          case Opcode::load_data: {
-            // The read's arrival at its module is instantaneous, so it may
-            // overtake older in-flight writes to other modules; it may not
-            // overtake the processor's own write to the same location.
-            if (hasFlightTo(s.flights[p], i->addr))
-                break;
-            State next = s;
-            completeAccess(prog_.thread(p), next.threads[p],
-                           s.mem[i->addr]);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          case Opcode::store_data: {
-            if (s.flights[p].size() >= max_flights_)
-                break;
-            State next = s;
-            next.flights[p].push_back(Flight{i->addr, storeValue(*i, t)});
-            completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          case Opcode::sync_load:
-          case Opcode::sync_store:
-          case Opcode::test_and_set: {
-            if (!s.flights[p].empty())
-                break; // wait for every in-flight write to arrive
-            State next = s;
-            const Value old = next.mem[i->addr];
-            if (i->writesMemory())
-                next.mem[i->addr] = storeValue(*i, t);
-            completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          default:
-            wo_panic("unexpected opcode at access point: %s",
-                     opcodeName(i->op));
-        }
-    }
-
-    // Arrival steps: any in-flight write whose processor has no older
-    // in-flight write to the same location may reach memory.
-    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
-        const auto &fl = s.flights[p];
-        for (std::size_t k = 0; k < fl.size(); ++k) {
-            bool oldest_to_addr = true;
-            for (std::size_t j = 0; j < k; ++j) {
-                if (fl[j].addr == fl[k].addr) {
-                    oldest_to_addr = false;
-                    break;
-                }
-            }
-            if (!oldest_to_addr)
-                continue;
-            State next = s;
-            Flight f = next.flights[p][k];
-            next.flights[p].erase(next.flights[p].begin() +
-                                  static_cast<std::ptrdiff_t>(k));
-            next.mem[f.addr] = f.value;
-            // Unique per (p, addr): only the oldest flight per location
-            // may arrive, so no two arrivals of p share an address.
-            out.push_back({drainLabel(p, f.addr), std::move(next)});
-        }
-    }
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        instrSucc(s, p, out);
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        drainSuccs(s, p, std::nullopt, out);
     return out;
+}
+
+std::optional<NetworkReorderModel::State>
+NetworkReorderModel::stepLabel(const State &s, const TransLabel &l) const
+{
+    std::vector<LabeledSucc<State>> out;
+    if (l.kind == TransKind::instr)
+        instrSucc(s, l.proc, out);
+    else
+        drainSuccs(s, l.proc, l.addr, out);
+    for (auto &ls : out)
+        if (ls.label == l)
+            return std::move(ls.state);
+    return std::nullopt;
 }
 
 Outcome
@@ -150,19 +176,7 @@ std::string
 NetworkReorderModel::encode(const State &s) const
 {
     StateEnc enc;
-    for (const auto &t : s.threads)
-        enc.putThread(t);
-    enc.sep();
-    for (Value v : s.mem)
-        enc.put(v);
-    enc.sep();
-    for (const auto &fl : s.flights) {
-        for (const auto &f : fl) {
-            enc.put(f.addr);
-            enc.put(f.value);
-        }
-        enc.sep();
-    }
+    encodeInto(s, enc);
     return enc.take();
 }
 

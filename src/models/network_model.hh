@@ -20,6 +20,7 @@
 #ifndef WO_MODELS_NETWORK_MODEL_HH
 #define WO_MODELS_NETWORK_MODEL_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,8 @@ class NetworkReorderModel
         std::vector<ThreadCtx> threads;
         std::vector<Value> mem;
         std::vector<std::vector<Flight>> flights; // per processor, in order
+
+        bool operator==(const State &other) const = default;
     };
 
     /**
@@ -64,8 +67,51 @@ class NetworkReorderModel
     bool isFinal(const State &s) const;
     std::vector<State> successors(const State &s) const;
     std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
+
+    /**
+     * The successor reached from @p s by the single transition @p l, or
+     * nullopt if @p l is not enabled.  Materializes exactly one state:
+     * the explorer's commutation probes chase individual labels and
+     * must not pay for a full successor list.
+     */
+    std::optional<State> stepLabel(const State &s, const TransLabel &l) const;
+
     Outcome outcome(const State &s) const;
+
+    /**
+     * Injective state layout, written into either encoder: threads,
+     * memory, then each processor's in-flight writes (separator-delimited).
+     */
+    template <typename Enc>
+    void
+    encodeInto(const State &s, Enc &enc) const
+    {
+        for (const auto &t : s.threads)
+            enc.putThread(t);
+        enc.sep();
+        for (Value v : s.mem)
+            enc.put(v);
+        enc.sep();
+        for (const auto &fl : s.flights) {
+            for (const auto &f : fl) {
+                enc.put(f.addr);
+                enc.put(f.value);
+            }
+            enc.sep();
+        }
+    }
+
+    /** Injective byte encoding for the visited set (cold paths). */
     std::string encode(const State &s) const;
+
+    /** Allocation-free 128-bit key over the encoded bytes (hot path). */
+    StateHash
+    hashState(const State &s) const
+    {
+        HashEnc enc;
+        encodeInto(s, enc);
+        return enc.take();
+    }
 
     /** Human-readable state rendering (for witness chains/debugging). */
     std::string dump(const State &s) const;
@@ -82,6 +128,17 @@ class NetworkReorderModel
     }
 
   private:
+    /** Append @p p's instruction-step successor (if enabled) to @p out. */
+    void instrSucc(const State &s, ProcId p,
+                   std::vector<LabeledSucc<State>> &out) const;
+
+    /**
+     * Append @p p's arrival successors to @p out; @p only restricts the
+     * enumeration to arrivals at one location.
+     */
+    void drainSuccs(const State &s, ProcId p, std::optional<Addr> only,
+                    std::vector<LabeledSucc<State>> &out) const;
+
     const Program &prog_;
     std::size_t max_flights_;
 };

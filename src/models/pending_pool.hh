@@ -58,9 +58,10 @@ poolMayDrain(const PendingPool &pool, std::size_t k)
     return true;
 }
 
-/** Serialize a pool into a state encoding. */
-inline void
-encodePool(StateEnc &enc, const PendingPool &pool)
+/** Serialize a pool into a state encoding (StateEnc or HashEnc). */
+template <typename Enc>
+void
+encodePool(Enc &enc, const PendingPool &pool)
 {
     for (const auto &w : pool) {
         enc.put(w.addr);

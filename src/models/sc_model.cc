@@ -46,18 +46,36 @@ ScModel::step(State &s, ProcId p, Execution *trace) const
     return true;
 }
 
+void
+ScModel::instrSucc(const State &s, ProcId p,
+                   std::vector<LabeledSucc<State>> &out) const
+{
+    if (s.threads[p].halted)
+        return;
+    State next = s;
+    step(next, p);
+    out.push_back({instrLabel(p), std::move(next)});
+}
+
 std::vector<LabeledSucc<ScModel::State>>
 ScModel::labeledSuccessors(const State &s) const
 {
     std::vector<LabeledSucc<State>> out;
-    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
-        if (s.threads[p].halted)
-            continue;
-        State next = s;
-        step(next, p);
-        out.push_back({instrLabel(p), std::move(next)});
-    }
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        instrSucc(s, p, out);
     return out;
+}
+
+std::optional<ScModel::State>
+ScModel::stepLabel(const State &s, const TransLabel &l) const
+{
+    std::vector<LabeledSucc<State>> out;
+    if (l.kind == TransKind::instr)
+        instrSucc(s, l.proc, out);
+    for (auto &ls : out)
+        if (ls.label == l)
+            return std::move(ls.state);
+    return std::nullopt;
 }
 
 std::vector<ScModel::State>
@@ -90,11 +108,7 @@ std::string
 ScModel::encode(const State &s) const
 {
     StateEnc enc;
-    for (const auto &t : s.threads)
-        enc.putThread(t);
-    enc.sep();
-    for (Value v : s.mem)
-        enc.put(v);
+    encodeInto(s, enc);
     return enc.take();
 }
 

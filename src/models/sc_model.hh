@@ -10,6 +10,7 @@
 #ifndef WO_MODELS_SC_MODEL_HH
 #define WO_MODELS_SC_MODEL_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,8 @@ class ScModel
     {
         std::vector<ThreadCtx> threads;
         std::vector<Value> mem;
+
+        bool operator==(const State &other) const = default;
     };
 
     /** Bind the model to @p prog (which must outlive the model). */
@@ -50,11 +53,43 @@ class ScModel
     /** Successors with transition labels (the DPOR explorer's view). */
     std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
 
+    /**
+     * The successor reached from @p s by the single transition @p l, or
+     * nullopt if @p l is not enabled.  Materializes exactly one state:
+     * the explorer's commutation probes chase individual labels and
+     * must not pay for a full successor list.
+     */
+    std::optional<State> stepLabel(const State &s, const TransLabel &l) const;
+
     /** The observable result of a final state. */
     Outcome outcome(const State &s) const;
 
-    /** Injective byte encoding for the visited set. */
+    /**
+     * Injective state layout, written into either encoder: threads,
+     * separator, memory image.
+     */
+    template <typename Enc>
+    void
+    encodeInto(const State &s, Enc &enc) const
+    {
+        for (const auto &t : s.threads)
+            enc.putThread(t);
+        enc.sep();
+        for (Value v : s.mem)
+            enc.put(v);
+    }
+
+    /** Injective byte encoding for the visited set (cold paths). */
     std::string encode(const State &s) const;
+
+    /** Allocation-free 128-bit key over the encoded bytes (hot path). */
+    StateHash
+    hashState(const State &s) const
+    {
+        HashEnc enc;
+        encodeInto(s, enc);
+        return enc.take();
+    }
 
     /** Human-readable state rendering (for witness chains/debugging). */
     std::string dump(const State &s) const;
@@ -75,6 +110,10 @@ class ScModel
     bool step(State &s, ProcId p, Execution *trace = nullptr) const;
 
   private:
+    /** Append @p p's instruction-step successor (if enabled) to @p out. */
+    void instrSucc(const State &s, ProcId p,
+                   std::vector<LabeledSucc<State>> &out) const;
+
     const Program &prog_;
 };
 

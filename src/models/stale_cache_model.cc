@@ -67,76 +67,103 @@ StaleCacheModel::successors(const State &s) const
     return out;
 }
 
+void
+StaleCacheModel::instrSucc(const State &s, ProcId p,
+                           std::vector<LabeledSucc<State>> &out) const
+{
+    const ThreadCtx &t = s.threads[p];
+    if (t.halted)
+        return;
+    const Instruction *i = currentAccess(prog_.thread(p), t);
+    switch (i->op) {
+      case Opcode::load_data: {
+        // Reads hit the local copy: no waiting, possibly stale.
+        State next = s;
+        completeAccess(prog_.thread(p), next.threads[p],
+                       s.copy[p][i->addr]);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      case Opcode::store_data: {
+        if (!inboxesHaveRoom(s, p, max_inbox_))
+            break;
+        State next = s;
+        const Value v = storeValue(*i, t);
+        next.mem[i->addr] = v;     // commit (write serialization point)
+        next.copy[p][i->addr] = v; // own copy updated immediately
+        for (ProcId q = 0; q < prog_.numThreads(); ++q)
+            if (q != p)
+                next.inbox[q].push_back(Update{i->addr, v});
+        completeAccess(prog_.thread(p), next.threads[p], 0);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      case Opcode::sync_load:
+      case Opcode::sync_store:
+      case Opcode::test_and_set: {
+        // Heavyweight synchronization: a full system barrier.
+        if (!allInboxesEmpty(s))
+            break;
+        State next = s;
+        const Value old = next.mem[i->addr];
+        if (i->writesMemory()) {
+            const Value v = storeValue(*i, t);
+            next.mem[i->addr] = v;
+            for (ProcId q = 0; q < prog_.numThreads(); ++q)
+                next.copy[q][i->addr] = v;
+        }
+        completeAccess(prog_.thread(p), next.threads[p], old);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      default:
+        wo_panic("unexpected opcode at access point: %s",
+                 opcodeName(i->op));
+    }
+}
+
+void
+StaleCacheModel::drainSuccs(const State &s, ProcId q,
+                            std::optional<Addr> only,
+                            std::vector<LabeledSucc<State>> &out) const
+{
+    // Delivery steps: pop the front of the receiver's inbox.  The label
+    // carries the *receiver* q (one front entry per inbox, so q alone is
+    // unique); the delivered address refines it for readability.
+    if (s.inbox[q].empty())
+        return;
+    const Update u = s.inbox[q].front();
+    if (only && u.addr != *only)
+        return;
+    State next = s;
+    next.inbox[q].erase(next.inbox[q].begin());
+    next.copy[q][u.addr] = u.value;
+    out.push_back({drainLabel(q, u.addr), std::move(next)});
+}
+
 std::vector<LabeledSucc<StaleCacheModel::State>>
 StaleCacheModel::labeledSuccessors(const State &s) const
 {
     std::vector<LabeledSucc<State>> out;
-
-    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
-        const ThreadCtx &t = s.threads[p];
-        if (t.halted)
-            continue;
-        const Instruction *i = currentAccess(prog_.thread(p), t);
-        switch (i->op) {
-          case Opcode::load_data: {
-            // Reads hit the local copy: no waiting, possibly stale.
-            State next = s;
-            completeAccess(prog_.thread(p), next.threads[p],
-                           s.copy[p][i->addr]);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          case Opcode::store_data: {
-            if (!inboxesHaveRoom(s, p, max_inbox_))
-                break;
-            State next = s;
-            const Value v = storeValue(*i, t);
-            next.mem[i->addr] = v;     // commit (write serialization point)
-            next.copy[p][i->addr] = v; // own copy updated immediately
-            for (ProcId q = 0; q < prog_.numThreads(); ++q)
-                if (q != p)
-                    next.inbox[q].push_back(Update{i->addr, v});
-            completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          case Opcode::sync_load:
-          case Opcode::sync_store:
-          case Opcode::test_and_set: {
-            // Heavyweight synchronization: a full system barrier.
-            if (!allInboxesEmpty(s))
-                break;
-            State next = s;
-            const Value old = next.mem[i->addr];
-            if (i->writesMemory()) {
-                const Value v = storeValue(*i, t);
-                next.mem[i->addr] = v;
-                for (ProcId q = 0; q < prog_.numThreads(); ++q)
-                    next.copy[q][i->addr] = v;
-            }
-            completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          default:
-            wo_panic("unexpected opcode at access point: %s",
-                     opcodeName(i->op));
-        }
-    }
-
-    // Delivery steps: pop the front of any non-empty inbox.  The label
-    // carries the *receiver* q (one front entry per inbox, so q alone is
-    // unique); the delivered address refines it for readability.
-    for (ProcId q = 0; q < prog_.numThreads(); ++q) {
-        if (s.inbox[q].empty())
-            continue;
-        State next = s;
-        Update u = next.inbox[q].front();
-        next.inbox[q].erase(next.inbox[q].begin());
-        next.copy[q][u.addr] = u.value;
-        out.push_back({drainLabel(q, u.addr), std::move(next)});
-    }
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        instrSucc(s, p, out);
+    for (ProcId q = 0; q < prog_.numThreads(); ++q)
+        drainSuccs(s, q, std::nullopt, out);
     return out;
+}
+
+std::optional<StaleCacheModel::State>
+StaleCacheModel::stepLabel(const State &s, const TransLabel &l) const
+{
+    std::vector<LabeledSucc<State>> out;
+    if (l.kind == TransKind::instr)
+        instrSucc(s, l.proc, out);
+    else
+        drainSuccs(s, l.proc, l.addr, out);
+    for (auto &ls : out)
+        if (ls.label == l)
+            return std::move(ls.state);
+    return std::nullopt;
 }
 
 Outcome
@@ -153,23 +180,7 @@ std::string
 StaleCacheModel::encode(const State &s) const
 {
     StateEnc enc;
-    for (const auto &t : s.threads)
-        enc.putThread(t);
-    enc.sep();
-    for (Value v : s.mem)
-        enc.put(v);
-    enc.sep();
-    for (const auto &c : s.copy)
-        for (Value v : c)
-            enc.put(v);
-    enc.sep();
-    for (const auto &q : s.inbox) {
-        for (const auto &u : q) {
-            enc.put(u.addr);
-            enc.put(u.value);
-        }
-        enc.sep();
-    }
+    encodeInto(s, enc);
     return enc.take();
 }
 

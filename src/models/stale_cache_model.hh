@@ -22,6 +22,7 @@
 #ifndef WO_MODELS_STALE_CACHE_MODEL_HH
 #define WO_MODELS_STALE_CACHE_MODEL_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,8 @@ class StaleCacheModel
         std::vector<Value> mem;                  // commit-order memory image
         std::vector<std::vector<Value>> copy;    // copy[proc][addr]
         std::vector<std::vector<Update>> inbox;  // per receiving processor
+
+        bool operator==(const State &other) const = default;
     };
 
     /**
@@ -66,8 +69,56 @@ class StaleCacheModel
     bool isFinal(const State &s) const;
     std::vector<State> successors(const State &s) const;
     std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
+
+    /**
+     * The successor reached from @p s by the single transition @p l, or
+     * nullopt if @p l is not enabled.  Materializes exactly one state:
+     * the explorer's commutation probes chase individual labels and
+     * must not pay for a full successor list.
+     */
+    std::optional<State> stepLabel(const State &s, const TransLabel &l) const;
+
     Outcome outcome(const State &s) const;
+
+    /**
+     * Injective state layout, written into either encoder: threads,
+     * memory, every processor's private copies, then each inbox
+     * (separator-delimited).
+     */
+    template <typename Enc>
+    void
+    encodeInto(const State &s, Enc &enc) const
+    {
+        for (const auto &t : s.threads)
+            enc.putThread(t);
+        enc.sep();
+        for (Value v : s.mem)
+            enc.put(v);
+        enc.sep();
+        for (const auto &c : s.copy)
+            for (Value v : c)
+                enc.put(v);
+        enc.sep();
+        for (const auto &q : s.inbox) {
+            for (const auto &u : q) {
+                enc.put(u.addr);
+                enc.put(u.value);
+            }
+            enc.sep();
+        }
+    }
+
+    /** Injective byte encoding for the visited set (cold paths). */
     std::string encode(const State &s) const;
+
+    /** Allocation-free 128-bit key over the encoded bytes (hot path). */
+    StateHash
+    hashState(const State &s) const
+    {
+        HashEnc enc;
+        encodeInto(s, enc);
+        return enc.take();
+    }
 
     /** Human-readable state rendering (for witness chains/debugging). */
     std::string dump(const State &s) const;
@@ -91,6 +142,17 @@ class StaleCacheModel
     void pendingAddrs(const State &, ProcId, std::vector<Addr> &) const {}
 
   private:
+    /** Append @p p's instruction-step successor (if enabled) to @p out. */
+    void instrSucc(const State &s, ProcId p,
+                   std::vector<LabeledSucc<State>> &out) const;
+
+    /**
+     * Append @p p's delivery successor to @p out; @p only restricts the
+     * enumeration to deliveries of one location.
+     */
+    void drainSuccs(const State &s, ProcId p, std::optional<Addr> only,
+                    std::vector<LabeledSucc<State>> &out) const;
+
     const Program &prog_;
     std::size_t max_inbox_;
 };

@@ -43,72 +43,97 @@ WoDef1Model::successors(const State &s) const
     return out;
 }
 
+void
+WoDef1Model::instrSucc(const State &s, ProcId p,
+                       std::vector<LabeledSucc<State>> &out) const
+{
+    const ThreadCtx &t = s.threads[p];
+    if (t.halted)
+        return;
+    const Instruction *i = currentAccess(prog_.thread(p), t);
+    switch (i->op) {
+      case Opcode::load_data: {
+        auto fwd = poolForward(s.pools[p], i->addr);
+        const Value v = fwd ? *fwd : s.mem[i->addr];
+        State next = s;
+        completeAccess(prog_.thread(p), next.threads[p], v);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      case Opcode::store_data: {
+        if (s.pools[p].size() >= max_pool_)
+            break;
+        State next = s;
+        next.pools[p].push_back(PendingWrite{i->addr, storeValue(*i, t)});
+        completeAccess(prog_.thread(p), next.threads[p], 0);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      case Opcode::sync_load:
+      case Opcode::sync_store:
+      case Opcode::test_and_set: {
+        // Definition 1, condition 2: the issuing processor stalls here
+        // until all its previous data accesses are globally performed.
+        if (!s.pools[p].empty())
+            break;
+        State next = s;
+        const Value old = next.mem[i->addr];
+        if (i->writesMemory())
+            next.mem[i->addr] = storeValue(*i, t);
+        completeAccess(prog_.thread(p), next.threads[p], old);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      default:
+        wo_panic("unexpected opcode at access point: %s",
+                 opcodeName(i->op));
+    }
+}
+
+void
+WoDef1Model::drainSuccs(const State &s, ProcId p, std::optional<Addr> only,
+                        std::vector<LabeledSucc<State>> &out) const
+{
+    // poolMayDrain admits only the oldest pending write per location, so
+    // (p, addr) uniquely names each drain edge.
+    const auto &pool = s.pools[p];
+    for (std::size_t k = 0; k < pool.size(); ++k) {
+        if (only && pool[k].addr != *only)
+            continue;
+        if (!poolMayDrain(pool, k))
+            continue;
+        State next = s;
+        PendingWrite w = next.pools[p][k];
+        next.pools[p].erase(next.pools[p].begin() +
+                            static_cast<std::ptrdiff_t>(k));
+        next.mem[w.addr] = w.value;
+        out.push_back({drainLabel(p, w.addr), std::move(next)});
+    }
+}
+
 std::vector<LabeledSucc<WoDef1Model::State>>
 WoDef1Model::labeledSuccessors(const State &s) const
 {
     std::vector<LabeledSucc<State>> out;
-
-    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
-        const ThreadCtx &t = s.threads[p];
-        if (t.halted)
-            continue;
-        const Instruction *i = currentAccess(prog_.thread(p), t);
-        switch (i->op) {
-          case Opcode::load_data: {
-            auto fwd = poolForward(s.pools[p], i->addr);
-            const Value v = fwd ? *fwd : s.mem[i->addr];
-            State next = s;
-            completeAccess(prog_.thread(p), next.threads[p], v);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          case Opcode::store_data: {
-            if (s.pools[p].size() >= max_pool_)
-                break;
-            State next = s;
-            next.pools[p].push_back(
-                PendingWrite{i->addr, storeValue(*i, t)});
-            completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          case Opcode::sync_load:
-          case Opcode::sync_store:
-          case Opcode::test_and_set: {
-            // Definition 1, condition 2: the issuing processor stalls here
-            // until all its previous data accesses are globally performed.
-            if (!s.pools[p].empty())
-                break;
-            State next = s;
-            const Value old = next.mem[i->addr];
-            if (i->writesMemory())
-                next.mem[i->addr] = storeValue(*i, t);
-            completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          default:
-            wo_panic("unexpected opcode at access point: %s",
-                     opcodeName(i->op));
-        }
-    }
-
-    // Drain steps.  poolMayDrain admits only the oldest pending write per
-    // location, so (p, addr) uniquely names each drain edge.
-    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
-        const auto &pool = s.pools[p];
-        for (std::size_t k = 0; k < pool.size(); ++k) {
-            if (!poolMayDrain(pool, k))
-                continue;
-            State next = s;
-            PendingWrite w = next.pools[p][k];
-            next.pools[p].erase(next.pools[p].begin() +
-                                static_cast<std::ptrdiff_t>(k));
-            next.mem[w.addr] = w.value;
-            out.push_back({drainLabel(p, w.addr), std::move(next)});
-        }
-    }
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        instrSucc(s, p, out);
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        drainSuccs(s, p, std::nullopt, out);
     return out;
+}
+
+std::optional<WoDef1Model::State>
+WoDef1Model::stepLabel(const State &s, const TransLabel &l) const
+{
+    std::vector<LabeledSucc<State>> out;
+    if (l.kind == TransKind::instr)
+        instrSucc(s, l.proc, out);
+    else
+        drainSuccs(s, l.proc, l.addr, out);
+    for (auto &ls : out)
+        if (ls.label == l)
+            return std::move(ls.state);
+    return std::nullopt;
 }
 
 Outcome
@@ -125,14 +150,7 @@ std::string
 WoDef1Model::encode(const State &s) const
 {
     StateEnc enc;
-    for (const auto &t : s.threads)
-        enc.putThread(t);
-    enc.sep();
-    for (Value v : s.mem)
-        enc.put(v);
-    enc.sep();
-    for (const auto &pool : s.pools)
-        encodePool(enc, pool);
+    encodeInto(s, enc);
     return enc.take();
 }
 

@@ -39,6 +39,7 @@
 #define WO_MODELS_WO_DRF0_MODEL_HH
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,8 @@ class WoDrf0Model
         std::vector<Value> mem;
         std::vector<PendingPool> pools;        // per processor
         std::map<Addr, Reservation> reserved;  // active reservations only
+
+        bool operator==(const State &other) const = default;
     };
 
     /**
@@ -96,8 +99,53 @@ class WoDrf0Model
     bool isFinal(const State &s) const;
     std::vector<State> successors(const State &s) const;
     std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
+
+    /**
+     * The successor reached from @p s by the single transition @p l, or
+     * nullopt if @p l is not enabled.  Materializes exactly one state:
+     * the explorer's commutation probes chase individual labels and
+     * must not pay for a full successor list.
+     */
+    std::optional<State> stepLabel(const State &s, const TransLabel &l) const;
+
     Outcome outcome(const State &s) const;
+
+    /**
+     * Injective state layout, written into either encoder: threads,
+     * memory, the pending pools, then the active reservations (the map
+     * iterates in Addr order, so the section is canonical).
+     */
+    template <typename Enc>
+    void
+    encodeInto(const State &s, Enc &enc) const
+    {
+        for (const auto &t : s.threads)
+            enc.putThread(t);
+        enc.sep();
+        for (Value v : s.mem)
+            enc.put(v);
+        enc.sep();
+        for (const auto &pool : s.pools)
+            encodePool(enc, pool);
+        enc.sep();
+        for (const auto &[addr, r] : s.reserved) {
+            enc.put(addr);
+            enc.put(r.owner);
+            enc.put(r.prefix_count);
+        }
+    }
+
+    /** Injective byte encoding for the visited set (cold paths). */
     std::string encode(const State &s) const;
+
+    /** Allocation-free 128-bit key over the encoded bytes (hot path). */
+    StateHash
+    hashState(const State &s) const
+    {
+        HashEnc enc;
+        encodeInto(s, enc);
+        return enc.take();
+    }
 
     /** Human-readable state rendering (for witness chains/debugging). */
     std::string dump(const State &s) const;
@@ -114,6 +162,17 @@ class WoDrf0Model
     }
 
   private:
+    /** Append @p p's instruction-step successor (if enabled) to @p out. */
+    void instrSucc(const State &s, ProcId p,
+                   std::vector<LabeledSucc<State>> &out) const;
+
+    /**
+     * Append @p p's drain successors to @p out; @p only restricts the
+     * enumeration to drains of one location.
+     */
+    void drainSuccs(const State &s, ProcId p, std::optional<Addr> only,
+                    std::vector<LabeledSucc<State>> &out) const;
+
     const Program &prog_;
     std::size_t max_pool_;
     bool weak_sync_read_;

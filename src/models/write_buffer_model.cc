@@ -43,76 +43,101 @@ WriteBufferModel::successors(const State &s) const
     return out;
 }
 
+void
+WriteBufferModel::instrSucc(const State &s, ProcId p,
+                            std::vector<LabeledSucc<State>> &out) const
+{
+    const ThreadCtx &t = s.threads[p];
+    if (t.halted)
+        return;
+    const Instruction *i = currentAccess(prog_.thread(p), t);
+    switch (i->op) {
+      case Opcode::load_data: {
+        // Forward from the youngest matching buffered store, else read
+        // memory directly -- passing any older buffered stores.
+        Value v = s.mem[i->addr];
+        const auto &buf = s.buffers[p];
+        for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
+            if (it->addr == i->addr) {
+                v = it->value;
+                break;
+            }
+        }
+        State next = s;
+        completeAccess(prog_.thread(p), next.threads[p], v);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      case Opcode::store_data: {
+        if (s.buffers[p].size() >= capacity_)
+            break; // buffer full: wait for a drain
+        State next = s;
+        next.buffers[p].push_back(BufEntry{i->addr, storeValue(*i, t)});
+        completeAccess(prog_.thread(p), next.threads[p], 0);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      case Opcode::sync_load:
+      case Opcode::sync_store:
+      case Opcode::test_and_set: {
+        // Strongly ordered synchronization: requires an empty buffer,
+        // then acts on memory atomically.
+        if (!s.buffers[p].empty())
+            break;
+        State next = s;
+        const Value old = next.mem[i->addr];
+        if (i->writesMemory())
+            next.mem[i->addr] = storeValue(*i, t);
+        completeAccess(prog_.thread(p), next.threads[p], old);
+        out.push_back({instrLabel(p), std::move(next)});
+        break;
+      }
+      default:
+        wo_panic("unexpected opcode at access point: %s",
+                 opcodeName(i->op));
+    }
+}
+
+void
+WriteBufferModel::drainSuccs(const State &s, ProcId p,
+                             std::optional<Addr> only,
+                             std::vector<LabeledSucc<State>> &out) const
+{
+    // Only the oldest entry may drain.
+    if (s.buffers[p].empty())
+        return;
+    const BufEntry e = s.buffers[p].front();
+    if (only && e.addr != *only)
+        return;
+    State next = s;
+    next.buffers[p].erase(next.buffers[p].begin());
+    next.mem[e.addr] = e.value;
+    out.push_back({drainLabel(p, e.addr), std::move(next)});
+}
+
 std::vector<LabeledSucc<WriteBufferModel::State>>
 WriteBufferModel::labeledSuccessors(const State &s) const
 {
     std::vector<LabeledSucc<State>> out;
-
-    // Instruction steps.
-    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
-        const ThreadCtx &t = s.threads[p];
-        if (t.halted)
-            continue;
-        const Instruction *i = currentAccess(prog_.thread(p), t);
-        switch (i->op) {
-          case Opcode::load_data: {
-            // Forward from the youngest matching buffered store, else read
-            // memory directly -- passing any older buffered stores.
-            Value v = s.mem[i->addr];
-            const auto &buf = s.buffers[p];
-            for (auto it = buf.rbegin(); it != buf.rend(); ++it) {
-                if (it->addr == i->addr) {
-                    v = it->value;
-                    break;
-                }
-            }
-            State next = s;
-            completeAccess(prog_.thread(p), next.threads[p], v);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          case Opcode::store_data: {
-            if (s.buffers[p].size() >= capacity_)
-                break; // buffer full: wait for a drain
-            State next = s;
-            next.buffers[p].push_back(
-                BufEntry{i->addr, storeValue(*i, t)});
-            completeAccess(prog_.thread(p), next.threads[p], 0);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          case Opcode::sync_load:
-          case Opcode::sync_store:
-          case Opcode::test_and_set: {
-            // Strongly ordered synchronization: requires an empty buffer,
-            // then acts on memory atomically.
-            if (!s.buffers[p].empty())
-                break;
-            State next = s;
-            const Value old = next.mem[i->addr];
-            if (i->writesMemory())
-                next.mem[i->addr] = storeValue(*i, t);
-            completeAccess(prog_.thread(p), next.threads[p], old);
-            out.push_back({instrLabel(p), std::move(next)});
-            break;
-          }
-          default:
-            wo_panic("unexpected opcode at access point: %s",
-                     opcodeName(i->op));
-        }
-    }
-
-    // Drain steps: pop the oldest entry of any non-empty buffer.
-    for (ProcId p = 0; p < prog_.numThreads(); ++p) {
-        if (s.buffers[p].empty())
-            continue;
-        State next = s;
-        BufEntry e = next.buffers[p].front();
-        next.buffers[p].erase(next.buffers[p].begin());
-        next.mem[e.addr] = e.value;
-        out.push_back({drainLabel(p, e.addr), std::move(next)});
-    }
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        instrSucc(s, p, out);
+    for (ProcId p = 0; p < prog_.numThreads(); ++p)
+        drainSuccs(s, p, std::nullopt, out);
     return out;
+}
+
+std::optional<WriteBufferModel::State>
+WriteBufferModel::stepLabel(const State &s, const TransLabel &l) const
+{
+    std::vector<LabeledSucc<State>> out;
+    if (l.kind == TransKind::instr)
+        instrSucc(s, l.proc, out);
+    else
+        drainSuccs(s, l.proc, l.addr, out);
+    for (auto &ls : out)
+        if (ls.label == l)
+            return std::move(ls.state);
+    return std::nullopt;
 }
 
 Outcome
@@ -129,19 +154,7 @@ std::string
 WriteBufferModel::encode(const State &s) const
 {
     StateEnc enc;
-    for (const auto &t : s.threads)
-        enc.putThread(t);
-    enc.sep();
-    for (Value v : s.mem)
-        enc.put(v);
-    enc.sep();
-    for (const auto &buf : s.buffers) {
-        for (const auto &e : buf) {
-            enc.put(e.addr);
-            enc.put(e.value);
-        }
-        enc.sep();
-    }
+    encodeInto(s, enc);
     return enc.take();
 }
 

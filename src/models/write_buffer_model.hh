@@ -17,6 +17,7 @@
 #ifndef WO_MODELS_WRITE_BUFFER_MODEL_HH
 #define WO_MODELS_WRITE_BUFFER_MODEL_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,8 @@ class WriteBufferModel
         std::vector<ThreadCtx> threads;
         std::vector<Value> mem;
         std::vector<std::vector<BufEntry>> buffers; // per processor, FIFO
+
+        bool operator==(const State &other) const = default;
     };
 
     /**
@@ -61,8 +64,51 @@ class WriteBufferModel
     bool isFinal(const State &s) const;
     std::vector<State> successors(const State &s) const;
     std::vector<LabeledSucc<State>> labeledSuccessors(const State &s) const;
+
+    /**
+     * The successor reached from @p s by the single transition @p l, or
+     * nullopt if @p l is not enabled.  Materializes exactly one state:
+     * the explorer's commutation probes chase individual labels and
+     * must not pay for a full successor list.
+     */
+    std::optional<State> stepLabel(const State &s, const TransLabel &l) const;
+
     Outcome outcome(const State &s) const;
+
+    /**
+     * Injective state layout, written into either encoder: threads,
+     * memory, then each processor's buffer (separator-delimited).
+     */
+    template <typename Enc>
+    void
+    encodeInto(const State &s, Enc &enc) const
+    {
+        for (const auto &t : s.threads)
+            enc.putThread(t);
+        enc.sep();
+        for (Value v : s.mem)
+            enc.put(v);
+        enc.sep();
+        for (const auto &buf : s.buffers) {
+            for (const auto &e : buf) {
+                enc.put(e.addr);
+                enc.put(e.value);
+            }
+            enc.sep();
+        }
+    }
+
+    /** Injective byte encoding for the visited set (cold paths). */
     std::string encode(const State &s) const;
+
+    /** Allocation-free 128-bit key over the encoded bytes (hot path). */
+    StateHash
+    hashState(const State &s) const
+    {
+        HashEnc enc;
+        encodeInto(s, enc);
+        return enc.take();
+    }
 
     /** Human-readable state rendering (for witness chains/debugging). */
     std::string dump(const State &s) const;
@@ -79,6 +125,17 @@ class WriteBufferModel
     }
 
   private:
+    /** Append @p p's instruction-step successor (if enabled) to @p out. */
+    void instrSucc(const State &s, ProcId p,
+                   std::vector<LabeledSucc<State>> &out) const;
+
+    /**
+     * Append @p p's drain successors to @p out; @p only restricts the
+     * enumeration to drains of one location.
+     */
+    void drainSuccs(const State &s, ProcId p, std::optional<Addr> only,
+                    std::vector<LabeledSucc<State>> &out) const;
+
     const Program &prog_;
     std::size_t capacity_;
 };

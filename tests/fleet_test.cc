@@ -171,6 +171,7 @@ TEST(FleetProto, SpecRoundTrips)
     spec.verify = true;
     spec.verify_models = {"sc", "stale"};
     spec.max_states = 5'000;
+    spec.explore_jobs = 4;
     spec.inject_axiom_bug = true;
 
     FleetCampaignSpec back;
@@ -188,6 +189,7 @@ TEST(FleetProto, SpecRoundTrips)
     EXPECT_EQ(back.verify, spec.verify);
     EXPECT_EQ(back.verify_models, spec.verify_models);
     EXPECT_EQ(back.max_states, spec.max_states);
+    EXPECT_EQ(back.explore_jobs, spec.explore_jobs);
     EXPECT_EQ(back.inject_axiom_bug, spec.inject_axiom_bug);
 }
 
@@ -205,6 +207,8 @@ TEST(FleetProto, SpecRejectsUnknownVerifyModel)
     EXPECT_NE(err.find("tso"), std::string::npos);
     EXPECT_FALSE(fleetSpecFromJson(
         jsonParse(R"({"max_states": 0})").value, spec, &err));
+    EXPECT_FALSE(fleetSpecFromJson(
+        jsonParse(R"({"explore_jobs": 0})").value, spec, &err));
 }
 
 TEST(FleetProto, SpecDefaultsEmptyPoliciesToCampaignTrio)

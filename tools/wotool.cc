@@ -8,16 +8,18 @@
  *
  *     wotool explore <file> [--model sc|wb|net|stale|def1|drf0|drf0ro]
  *                    [--algo dpor|bfs|both] [--axiom] [--max-states N]
- *                    [--witness N]
+ *                    [--jobs N] [--witness N]
  *         Exhaustive outcome set on an abstract machine.  The default
  *         engine is sleep-set DPOR with hashed-state dedup; --algo bfs
  *         runs the naive golden reference instead, --algo both runs
  *         the two and compares outcome sets (plus the reduction
- *         ratio).  --axiom additionally cross-checks the operational
- *         SC machine against the independent axiomatic evaluator
- *         (src/axiom/).  Exit 0 when everything agrees, 1 on an engine
- *         divergence, 3 when a state/step budget left the result
- *         inconclusive.  See docs/EXPLORE.md.
+ *         ratio).  --jobs runs the DPOR search on N work-stealing
+ *         threads; results are bit-identical to --jobs 1.  --axiom
+ *         additionally cross-checks the operational SC machine against
+ *         the independent axiomatic evaluator (src/axiom/).  Exit 0
+ *         when everything agrees, 1 on an engine divergence, 3 when a
+ *         state/step budget left the result inconclusive.  See
+ *         docs/EXPLORE.md.
  *
  *     wotool verify  <file> [--model ...] [--max-states N]
  *         Definition-2 conformance: is the machine's outcome set within
@@ -55,7 +57,8 @@
  *                     [--programs F1,F2,...] [--seed N] [--no-shrink]
  *                     [--max-events N] [--inject-reserve-bug]
  *                     [--verify] [--verify-models LIST]
- *                     [--max-states N] [--inject-axiom-bug]
+ *                     [--max-states N] [--explore-jobs N]
+ *                     [--inject-axiom-bug]
  *                     [--serve-port N] [--serve-addr A]
  *         Bulk Definition-2 verification: fan a fuzzed stream of
  *         (program x policy x seed) cells over a work-stealing worker
@@ -328,7 +331,8 @@ cmdExplore(const Program &prog, int argc, char **argv)
     ExploreCfg cfg;
     std::uint64_t witness_idx = 0;
     if (!parseU64Opt(argc, argv, "--max-states", 1, cfg.max_states) ||
-        !parseU64Opt(argc, argv, "--witness", 0, witness_idx))
+        !parseU64Opt(argc, argv, "--witness", 0, witness_idx) ||
+        !parseIntOpt(argc, argv, "--jobs", 1, cfg.jobs))
         return 2;
     const bool want_witness = opt(argc, argv, "--witness") != nullptr;
     const char *algo_v = opt(argc, argv, "--algo");
@@ -352,13 +356,21 @@ cmdExplore(const Program &prog, int argc, char **argv)
         };
         auto r = exploreOutcomes(model, cfg);
         engineLine(algo == "bfs" ? "bfs" : "dpor", r);
-        if (cfg.algo == ExploreAlgo::dpor)
+        if (cfg.algo == ExploreAlgo::dpor) {
             std::printf("  dpor: %llu transitions, %llu sleep-pruned, "
                         "%llu revisits subsumed\n",
                         static_cast<unsigned long long>(r.transitions),
                         static_cast<unsigned long long>(r.sleep_pruned),
                         static_cast<unsigned long long>(
                             r.revisit_pruned));
+            std::printf("  dpor: %llu commutation probes (%llu memo "
+                        "hits), %llu visited-table bytes, %d job(s)\n",
+                        static_cast<unsigned long long>(
+                            r.commutation_probes),
+                        static_cast<unsigned long long>(r.memo_hits),
+                        static_cast<unsigned long long>(r.visited_bytes),
+                        cfg.jobs);
+        }
         std::size_t idx = 0;
         for (const auto &o : r.outcomes)
             std::printf("  #%zu %s\n", idx++, o.toString().c_str());
@@ -906,6 +918,8 @@ cmdCampaign(const AsmResult *, int argc, char **argv)
 {
     CampaignCfg cfg;
     if (!parseIntOpt(argc, argv, "--jobs", 1, cfg.jobs) ||
+        !parseIntOpt(argc, argv, "--explore-jobs", 1,
+                     cfg.explore_jobs) ||
         !parseU64Opt(argc, argv, "--cells", 1, cfg.cells) ||
         !parseDoubleOpt(argc, argv, "--time-budget",
                         cfg.time_budget_s) ||
@@ -1171,7 +1185,9 @@ parseFleetSpec(int argc, char **argv, FleetCampaignSpec &spec)
         spec.verify = true;
         spec.inject_axiom_bug = true;
     }
-    if (!parseU64Opt(argc, argv, "--max-states", 1, spec.max_states))
+    if (!parseU64Opt(argc, argv, "--max-states", 1, spec.max_states) ||
+        !parseIntOpt(argc, argv, "--explore-jobs", 1,
+                     spec.explore_jobs))
         return false;
     return true;
 }
@@ -1288,8 +1304,10 @@ const Command commands[] = {
     {"explore", true, wrapExplore,
      "  explore <file> [--model sc|wb|net|stale|def1|drf0|drf0ro]\n"
      "          [--algo dpor|bfs|both] [--axiom] [--max-states N]\n"
-     "          [--witness N]   (exit 1 on engine divergence, 3 when\n"
-     "          a budget made the result inconclusive)\n"},
+     "          [--jobs N] [--witness N]   (exit 1 on engine\n"
+     "          divergence, 3 when a budget made the result\n"
+     "          inconclusive; --jobs N explores on N work-stealing\n"
+     "          threads with bit-identical results)\n"},
     {"verify", true, wrapVerify,
      "  verify <file> [--model wb|net|stale|def1|drf0|drf0ro]\n"
      "         [--max-states N]   (exit 3 when exploration was\n"
@@ -1318,7 +1336,8 @@ const Command commands[] = {
      "           [--no-frontier] [--max-events N]\n"
      "           [--sync-every N] [--inject-reserve-bug]\n"
      "           [--verify] [--verify-models sc,wb,net,...]\n"
-     "           [--max-states N] [--inject-axiom-bug]\n"
+     "           [--max-states N] [--explore-jobs N]\n"
+     "           [--inject-axiom-bug]\n"
      "           [--legacy-queue]\n"
      "           [--profile] [--profile-hz N] [--profile-out F]\n"
      "           [--serve-port N] [--serve-addr A]\n"
@@ -1352,7 +1371,8 @@ const Command commands[] = {
      "         [--max-events N] [--no-shrink] [--shrink-max-runs N]\n"
      "         [--inject-reserve-bug] [--verify]\n"
      "         [--verify-models sc,wb,net,...] [--max-states N]\n"
-     "         [--inject-axiom-bug] [--idle-timeout MS] [--quiet]\n"
+     "         [--explore-jobs N] [--inject-axiom-bug]\n"
+     "         [--idle-timeout MS] [--quiet]\n"
      "         (enqueue a campaign on a warm fleet, stream progress,\n"
      "         exit with the campaign verdict: 1 iff a hardware\n"
      "         violation was found)\n"},
